@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+The pipeline cache is warmed once per session so the per-table/figure
+benches measure their experiment, not redundant RevNIC re-runs.
+"""
+
+import pytest
+
+from repro.eval.runner import get_cache
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """Process-wide pipeline cache, pre-warmed for all four drivers."""
+    shared = get_cache()
+    shared.all_drivers()
+    return shared
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a whole-experiment function with a single round (these
+    are end-to-end experiment regenerations, not microbenchmarks)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

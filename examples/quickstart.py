@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: reverse engineer a binary NIC driver end to end.
+
+Loads the closed-source rtl8029 binary, runs RevNIC's selective symbolic
+execution against symbolic hardware (no device model involved), synthesizes
+a new driver, and runs the synthesized driver on a different OS against the
+real device model -- the full pipeline of the paper in one script.
+"""
+
+from repro.drivers import build_driver, device_class
+from repro.net import EthernetFrame, EtherType
+from repro.revnic import RevNic, RevNicConfig
+from repro.synth import synthesize
+from repro.targetos import LinSim
+from repro.templates import NicTemplate
+
+MAC = b"\x52\x54\x00\xAA\xBB\xCC"
+
+
+def main():
+    # 1. The input: an opaque binary image (think rtl8029.sys) and the PCI
+    #    identity from the device manager.  No source, no device.
+    image = build_driver("rtl8029")
+    pci = device_class("rtl8029").PCI
+    print("input binary: %d bytes, %d imports, entry 0x%x"
+          % (image.file_size, len(image.imports), image.entry))
+
+    # 2. Reverse engineer: exercise every entry point symbolically.
+    engine = RevNic(image, RevNicConfig(driver_name="rtl8029", pci=pci))
+    result = engine.run()
+    print("explored %d blocks, %.1f%% basic-block coverage, %d entry points"
+          % (result.stats["blocks_executed"],
+             100 * result.coverage_fraction, len(result.entry_points)))
+
+    # 3. Synthesize: traces -> CFG -> C code + executable module.
+    driver = synthesize(result, import_names=engine.loaded.import_names,
+                        translator=engine.translator)
+    print(driver.report.describe())
+    print("\n--- first lines of generated C ---")
+    print("\n".join(driver.c_source.splitlines()[:20]))
+
+    # 4. Port: drop the synthesized functions into the Linux template and
+    #    run them against the real NE2000 device model.
+    target = LinSim(device_class("rtl8029"), mac=MAC)
+    template = NicTemplate(driver, target, original_image=image)
+    template.initialize()
+    frame = EthernetFrame(dst=b"\xff" * 6, src=MAC,
+                          ethertype=EtherType.IPV4,
+                          payload=b"hello from the synthesized driver"
+                          + b"\0" * 13).to_bytes()
+    template.send(frame)
+    print("\nsynthesized driver on LinSim sent %d frame(s); MAC = %s"
+          % (len(target.medium.transmitted),
+             template.query_mac().hex(":")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Demonstrate *symbolic hardware*: reverse engineering without any device.
+
+The paper's section 3.4 point: since every hardware read returns a symbolic
+value, "the actual device is never needed", and the interrupt handler's
+branches are all explored without crafting workloads.  This script runs only
+the ISR entry point of the rtl8029 binary and shows how many distinct paths
+(interrupt causes) symbolic hardware uncovers, and which OS APIs each path
+ends up calling.
+"""
+
+from repro.drivers import build_driver, device_class
+from repro.revnic import RevNic, RevNicConfig
+from repro.revnic.exerciser import Phase
+from repro.revnic.trace import ImportRecord
+
+
+def main():
+    image = build_driver("rtl8029")
+    script = [
+        Phase("driver_entry"),
+        Phase("initialize"),
+        Phase("isr"),
+    ]
+    engine = RevNic(image, RevNicConfig(driver_name="rtl8029",
+                                        pci=device_class("rtl8029").PCI),
+                    script=script)
+    result = engine.run()
+
+    isr_segments = [s for s in result.trace.segments
+                    if s.entry_name == "isr"]
+    paths = [p for s in isr_segments for p in s.paths]
+    print("ISR exploration: %d paths from a single invocation" % len(paths))
+    for path in paths:
+        api_calls = [r.name for r in path.records
+                     if isinstance(r, ImportRecord)]
+        blocks = sum(1 for r in path.records
+                     if not isinstance(r, ImportRecord))
+        print("  path %3d: %2d blocks, status=%-9s OS calls: %s"
+              % (path.path_id, blocks, path.status,
+                 ", ".join(api_calls) or "(none)"))
+    print("\nhardware reads answered symbolically: %d"
+          % len(engine.hardware.reads))
+    print("no device model was attached at any point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e . --no-build-isolation`` work
+on environments whose setuptools predates PEP 660 editable wheels."""
+
+from setuptools import setup
+
+setup()

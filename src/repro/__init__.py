@@ -1,0 +1,48 @@
+"""Reproduction of *Reverse Engineering of Binary Device Drivers with RevNIC*.
+
+RevNIC (Chipounov & Candea, EuroSys 2010) reverse engineers closed-source
+binary network drivers by exercising them with selective symbolic execution
+inside a virtual machine, wiretapping every instruction / memory access /
+hardware I/O, and synthesizing portable C code that implements the same
+hardware protocol.
+
+This package contains the full reproduction stack:
+
+* :mod:`repro.isa`, :mod:`repro.asm` -- the R32 instruction set and assembler
+  used to build the *binary* drivers being reverse engineered.
+* :mod:`repro.vm`, :mod:`repro.hw`, :mod:`repro.net` -- the virtual machine,
+  NIC device models and packet substrate.
+* :mod:`repro.guestos` -- the source-OS (NDIS-like) environment that loads
+  and drives the binary driver.
+* :mod:`repro.ir`, :mod:`repro.dbt` -- the intermediate representation and
+  the dynamic binary translator (the paper's QEMU->LLVM pipeline analog).
+* :mod:`repro.symex` -- the symbolic execution engine (KLEE analog).
+* :mod:`repro.revnic` -- the core contribution: shell symbolic hardware,
+  wiretap, exploration heuristics and the top-level engine.
+* :mod:`repro.synth` -- trace-to-C/IR driver synthesis.
+* :mod:`repro.templates`, :mod:`repro.targetos` -- driver templates and the
+  four target operating system simulators.
+* :mod:`repro.drivers` -- the four proprietary driver binaries (R32 assembly)
+  and native baselines.
+* :mod:`repro.eval` -- the evaluation harness reproducing every table and
+  figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+
+def _load_engine():
+    from repro.revnic.engine import RevNic, RevNicConfig, RevNicResult
+
+    return RevNic, RevNicConfig, RevNicResult
+
+
+def __getattr__(name):
+    if name in ("RevNic", "RevNicConfig", "RevNicResult"):
+        engine = _load_engine()
+        mapping = dict(zip(("RevNic", "RevNicConfig", "RevNicResult"), engine))
+        return mapping[name]
+    raise AttributeError(name)
+
+
+__all__ = ["RevNic", "RevNicConfig", "RevNicResult"]

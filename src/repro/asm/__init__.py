@@ -1,0 +1,22 @@
+"""Two-pass assembler and binary image format for R32 driver binaries.
+
+The four "proprietary Windows drivers" in :mod:`repro.drivers` are written in
+R32 assembly and assembled with this package into opaque DRV images -- the
+reverse-engineering pipeline never sees the assembly source, only the bytes,
+just as RevNIC only ever sees ``.sys`` files.
+"""
+
+from repro.asm.assembler import assemble, assemble_file
+from repro.asm.binfmt import DrvImage, Import, Export, Reloc, RelocKind
+from repro.asm.disasm import disassemble_image
+
+__all__ = [
+    "assemble",
+    "assemble_file",
+    "DrvImage",
+    "Import",
+    "Export",
+    "Reloc",
+    "RelocKind",
+    "disassemble_image",
+]

@@ -1,0 +1,554 @@
+"""Two-pass R32 assembler producing DRV binary images.
+
+Pass 1 parses the source, expands pseudo-instructions into concrete
+instruction records (sizes are syntactically determined, so forward label
+references are fine) and assigns section offsets to labels.  Pass 2 evaluates
+operand expressions against the symbol table, encodes instructions and
+emits relocations for text/data/import references.
+"""
+
+import struct
+
+from repro.errors import AsmError
+from repro.asm import parser as P
+from repro.asm.binfmt import DrvImage, Export, Import, Reloc, RelocKind
+from repro.isa.encoding import INSTR_SIZE, NO_REG, Instruction, encode
+from repro.isa.opcodes import Op
+from repro.isa.registers import REG_AT
+
+
+class _Value:
+    """Result of expression evaluation: ``addend`` relative to ``base``.
+
+    ``base`` is ``None`` (absolute), ``"text"``, ``"data"``, or ``"import"``
+    (in which case ``index`` identifies the import slot).
+    """
+
+    __slots__ = ("addend", "base", "index")
+
+    def __init__(self, addend, base=None, index=0):
+        self.addend = addend
+        self.base = base
+        self.index = index
+
+    @property
+    def absolute(self):
+        return self.base is None
+
+
+def assemble(source, name="<source>"):
+    """Assemble R32 source text into a :class:`DrvImage`."""
+    statements = P.parse_source(source)
+    asm = _Assembler(name)
+    asm.pass1(statements)
+    return asm.pass2()
+
+
+def assemble_file(path):
+    """Assemble the file at ``path``."""
+    with open(path, "r") as handle:
+        return assemble(handle.read(), name=str(path))
+
+
+class _TextItem:
+    """One concrete instruction awaiting encoding in pass 2."""
+
+    __slots__ = ("op", "a", "b", "c", "imm_expr", "line", "offset")
+
+    def __init__(self, op, a=NO_REG, b=NO_REG, c=NO_REG, imm_expr=None,
+                 line=0, offset=0):
+        self.op = op
+        self.a = a
+        self.b = b
+        self.c = c
+        self.imm_expr = imm_expr
+        self.line = line
+        self.offset = offset
+
+
+class _DataItem:
+    """One data directive awaiting emission in pass 2."""
+
+    __slots__ = ("kind", "payload", "line", "offset")
+
+    def __init__(self, kind, payload, line, offset):
+        self.kind = kind        # 'bytes' | 'word' | 'half' | 'byte'
+        self.payload = payload  # bytes, or list of expressions
+        self.line = line
+        self.offset = offset
+
+
+_SWAPPED_BRANCHES = {"bgt": "blt", "ble": "bge", "bgtu": "bltu",
+                     "bleu": "bgeu"}
+_DIRECT_BRANCHES = {"beq": Op.BEQ, "bne": Op.BNE, "blt": Op.BLT,
+                    "bge": Op.BGE, "bltu": Op.BLTU, "bgeu": Op.BGEU}
+_ALU_MNEMONICS = {"add": Op.ADD, "sub": Op.SUB, "and": Op.AND, "or": Op.OR,
+                  "xor": Op.XOR, "shl": Op.SHL, "shr": Op.SHR, "sar": Op.SAR,
+                  "mul": Op.MUL, "divu": Op.DIVU, "remu": Op.REMU}
+_LOAD_MNEMONICS = {"ld8": Op.LD8, "ld16": Op.LD16, "ld32": Op.LD32}
+_STORE_MNEMONICS = {"st8": Op.ST8, "st16": Op.ST16, "st32": Op.ST32}
+_IN_MNEMONICS = {"in8": Op.IN8, "in16": Op.IN16, "in32": Op.IN32}
+_OUT_MNEMONICS = {"out8": Op.OUT8, "out16": Op.OUT16, "out32": Op.OUT32}
+
+
+class _Assembler:
+    def __init__(self, name):
+        self.name = name
+        self.section = "text"
+        self.text_items = []
+        self.data_items = []
+        self.text_offset = 0
+        self.data_offset = 0
+        self.bss_size = 0
+        self.symbols = {}          # name -> _Value
+        self.equ = {}              # name -> expression AST (lazy constants)
+        self.imports = []          # ordered Import list
+        self.import_index = {}
+        self.exports = []          # (name, line)
+        self.entry_name = None
+
+    # ------------------------------------------------------------------
+    # Pass 1
+
+    def pass1(self, statements):
+        for stmt in statements:
+            if isinstance(stmt, P.LabelStmt):
+                self._define_label(stmt)
+            elif isinstance(stmt, P.DirectiveStmt):
+                self._directive(stmt)
+            elif isinstance(stmt, P.InstrStmt):
+                if self.section != "text":
+                    raise AsmError("instruction outside .text", stmt.line)
+                self._instruction(stmt)
+            else:  # pragma: no cover - parser yields only the above
+                raise AsmError("bad statement %r" % (stmt,), 0)
+
+    def _define_label(self, stmt):
+        if stmt.name in self.symbols or stmt.name in self.equ:
+            raise AsmError("duplicate symbol %r" % stmt.name, stmt.line)
+        if self.section == "text":
+            self.symbols[stmt.name] = _Value(self.text_offset, "text")
+        elif self.section == "data":
+            self.symbols[stmt.name] = _Value(self.data_offset, "data")
+        else:
+            raise AsmError("label in unknown section", stmt.line)
+
+    def _directive(self, stmt):
+        name = stmt.name
+        if name == ".text":
+            self.section = "text"
+        elif name == ".data":
+            self.section = "data"
+        elif name == ".equ":
+            self._equ(stmt)
+        elif name == ".import":
+            self._import(stmt)
+        elif name == ".export":
+            self._export(stmt)
+        elif name == ".entry":
+            self._entry(stmt)
+        elif name in (".word", ".half", ".byte"):
+            self._data_values(name[1:], stmt)
+        elif name == ".asciz":
+            self._asciz(stmt)
+        elif name == ".space":
+            self._space(stmt)
+        elif name == ".align":
+            self._align(stmt)
+        else:
+            raise AsmError("unknown directive %s" % name, stmt.line)
+
+    def _equ(self, stmt):
+        if len(stmt.args) != 2 or not isinstance(stmt.args[0], P.Sym):
+            raise AsmError(".equ needs a name and a value", stmt.line)
+        name = stmt.args[0].name
+        if name in self.symbols or name in self.equ:
+            raise AsmError("duplicate symbol %r" % name, stmt.line)
+        self.equ[name] = stmt.args[1]
+
+    def _import(self, stmt):
+        for arg in stmt.args:
+            if not isinstance(arg, P.Sym):
+                raise AsmError(".import needs function names", stmt.line)
+            if arg.name in self.import_index:
+                continue
+            self.import_index[arg.name] = len(self.imports)
+            self.imports.append(Import(arg.name))
+
+    def _export(self, stmt):
+        for arg in stmt.args:
+            if not isinstance(arg, P.Sym):
+                raise AsmError(".export needs label names", stmt.line)
+            self.exports.append((arg.name, stmt.line))
+
+    def _entry(self, stmt):
+        if len(stmt.args) != 1 or not isinstance(stmt.args[0], P.Sym):
+            raise AsmError(".entry needs one label name", stmt.line)
+        self.entry_name = stmt.args[0].name
+
+    def _data_values(self, kind, stmt):
+        if self.section != "data":
+            raise AsmError(".%s outside .data" % kind, stmt.line)
+        width = {"word": 4, "half": 2, "byte": 1}[kind]
+        item = _DataItem(kind, list(stmt.args), stmt.line, self.data_offset)
+        self.data_items.append(item)
+        self.data_offset += width * len(stmt.args)
+
+    def _asciz(self, stmt):
+        if self.section != "data":
+            raise AsmError(".asciz outside .data", stmt.line)
+        if len(stmt.args) != 1 or not isinstance(stmt.args[0], str):
+            raise AsmError(".asciz needs one string", stmt.line)
+        payload = stmt.args[0].encode("ascii") + b"\0"
+        self.data_items.append(_DataItem("bytes", payload, stmt.line,
+                                         self.data_offset))
+        self.data_offset += len(payload)
+
+    def _space(self, stmt):
+        if len(stmt.args) != 1:
+            raise AsmError(".space needs one size", stmt.line)
+        size = self._const(stmt.args[0], stmt.line)
+        if self.section != "data":
+            raise AsmError(".space outside .data", stmt.line)
+        self.data_items.append(_DataItem("bytes", b"\0" * size, stmt.line,
+                                         self.data_offset))
+        self.data_offset += size
+
+    def _align(self, stmt):
+        if len(stmt.args) != 1:
+            raise AsmError(".align needs one argument", stmt.line)
+        align = self._const(stmt.args[0], stmt.line)
+        if align <= 0 or align & (align - 1):
+            raise AsmError(".align must be a power of two", stmt.line)
+        if self.section == "data":
+            pad = -self.data_offset % align
+            if pad:
+                self.data_items.append(_DataItem("bytes", b"\0" * pad,
+                                                 stmt.line, self.data_offset))
+                self.data_offset += pad
+        else:
+            while self.text_offset % align:
+                self._emit(Op.NOP, line=stmt.line)
+
+    def _const(self, expr, line):
+        value = self._eval(expr, line)
+        if not value.absolute:
+            raise AsmError("expected an absolute constant", line)
+        return value.addend
+
+    # ------------------------------------------------------------------
+    # Instruction expansion
+
+    def _emit(self, op, a=NO_REG, b=NO_REG, c=NO_REG, imm_expr=None, line=0):
+        item = _TextItem(op, a, b, c, imm_expr, line, self.text_offset)
+        self.text_items.append(item)
+        self.text_offset += INSTR_SIZE
+
+    def _instruction(self, stmt):
+        m = stmt.mnemonic
+        ops = stmt.operands
+        line = stmt.line
+        emit = self._emit
+
+        if m in ("nop", "halt"):
+            self._expect(ops, 0, line)
+            emit(Op.NOP if m == "nop" else Op.HALT, line=line)
+        elif m in ("mov", "li", "movi"):
+            self._mov(m, ops, line)
+        elif m in _LOAD_MNEMONICS:
+            self._load(_LOAD_MNEMONICS[m], ops, line)
+        elif m in _STORE_MNEMONICS:
+            self._store(_STORE_MNEMONICS[m], ops, line)
+        elif m == "push":
+            for op in self._regs(ops, line):
+                emit(Op.PUSH, a=op, line=line)
+        elif m == "pop":
+            for op in self._regs(ops, line):
+                emit(Op.POP, a=op, line=line)
+        elif m in _ALU_MNEMONICS:
+            self._alu(_ALU_MNEMONICS[m], ops, line)
+        elif m in ("not", "neg"):
+            self._unary(Op.NOT if m == "not" else Op.NEG, ops, line)
+        elif m in _DIRECT_BRANCHES:
+            self._branch(_DIRECT_BRANCHES[m], ops, line, swapped=False)
+        elif m in _SWAPPED_BRANCHES:
+            self._branch(_DIRECT_BRANCHES[_SWAPPED_BRANCHES[m]], ops, line,
+                         swapped=True)
+        elif m in ("bz", "bnz"):
+            self._branch_zero(m, ops, line)
+        elif m in ("jmp", "b", "jmpr"):
+            self._jump(Op.JMP, Op.JMPR, ops, line)
+        elif m in ("call", "callr"):
+            self._jump(Op.CALL, Op.CALLR, ops, line)
+        elif m == "ret":
+            self._ret(ops, line)
+        elif m in _IN_MNEMONICS:
+            self._io_in(_IN_MNEMONICS[m], ops, line)
+        elif m in _OUT_MNEMONICS:
+            self._io_out(_OUT_MNEMONICS[m], ops, line)
+        else:
+            raise AsmError("unknown mnemonic %r" % m, line)
+
+    def _expect(self, ops, count, line):
+        if len(ops) != count:
+            raise AsmError("expected %d operand(s), got %d"
+                           % (count, len(ops)), line)
+
+    def _regs(self, ops, line):
+        regs = []
+        for op in ops:
+            if not isinstance(op, P.RegOperand):
+                raise AsmError("expected register operand", line)
+            regs.append(op.reg)
+        if not regs:
+            raise AsmError("expected at least one register", line)
+        return regs
+
+    def _mov(self, m, ops, line):
+        self._expect(ops, 2, line)
+        dst, src = ops
+        if not isinstance(dst, P.RegOperand):
+            raise AsmError("destination must be a register", line)
+        if isinstance(src, P.RegOperand):
+            if m == "movi" or m == "li":
+                raise AsmError("%s needs an immediate" % m, line)
+            self._emit(Op.MOV, a=dst.reg, b=src.reg, line=line)
+        elif isinstance(src, P.ExprOperand):
+            self._emit(Op.MOVI, a=dst.reg, imm_expr=src.expr, line=line)
+        else:
+            raise AsmError("bad mov source", line)
+
+    def _load(self, op, ops, line):
+        self._expect(ops, 2, line)
+        dst, mem = ops
+        if not isinstance(dst, P.RegOperand) or not isinstance(mem, P.MemOperand):
+            raise AsmError("load needs: rd, [base+disp]", line)
+        base = mem.base
+        disp = mem.disp
+        if base is None:
+            self._emit(Op.MOVI, a=REG_AT, imm_expr=disp, line=line)
+            base, disp = REG_AT, P.Num(0)
+        self._emit(op, a=dst.reg, b=base, imm_expr=disp, line=line)
+
+    def _store(self, op, ops, line):
+        self._expect(ops, 2, line)
+        mem, src = ops
+        if not isinstance(mem, P.MemOperand) or not isinstance(src, P.RegOperand):
+            raise AsmError("store needs: [base+disp], rs", line)
+        base = mem.base
+        disp = mem.disp
+        if base is None:
+            self._emit(Op.MOVI, a=REG_AT, imm_expr=disp, line=line)
+            base, disp = REG_AT, P.Num(0)
+        self._emit(op, a=base, b=src.reg, imm_expr=disp, line=line)
+
+    def _alu(self, op, ops, line):
+        if len(ops) == 2:  # two-operand form: rd = rd op src
+            ops = [ops[0], ops[0], ops[1]]
+        self._expect(ops, 3, line)
+        dst, src1, src2 = ops
+        if not isinstance(dst, P.RegOperand) or not isinstance(src1, P.RegOperand):
+            raise AsmError("ALU needs register destination and source", line)
+        if isinstance(src2, P.RegOperand):
+            self._emit(op, a=dst.reg, b=src1.reg, c=src2.reg, line=line)
+        elif isinstance(src2, P.ExprOperand):
+            self._emit(op, a=dst.reg, b=src1.reg, c=NO_REG,
+                       imm_expr=src2.expr, line=line)
+        else:
+            raise AsmError("bad ALU operand", line)
+
+    def _unary(self, op, ops, line):
+        if len(ops) == 1:
+            ops = [ops[0], ops[0]]
+        self._expect(ops, 2, line)
+        dst, src = ops
+        if not isinstance(dst, P.RegOperand) or not isinstance(src, P.RegOperand):
+            raise AsmError("unary op needs registers", line)
+        self._emit(op, a=dst.reg, b=src.reg, line=line)
+
+    def _branch(self, op, ops, line, swapped):
+        self._expect(ops, 3, line)
+        lhs, rhs, target = ops
+        if not isinstance(lhs, P.RegOperand):
+            raise AsmError("branch first operand must be a register", line)
+        if not isinstance(target, P.ExprOperand):
+            raise AsmError("branch target must be a label/expression", line)
+        if isinstance(rhs, P.RegOperand):
+            rhs_reg = rhs.reg
+        elif isinstance(rhs, P.ExprOperand):
+            self._emit(Op.MOVI, a=REG_AT, imm_expr=rhs.expr, line=line)
+            rhs_reg = REG_AT
+        else:
+            raise AsmError("bad branch operand", line)
+        a, b = (rhs_reg, lhs.reg) if swapped else (lhs.reg, rhs_reg)
+        self._emit(op, a=a, b=b, imm_expr=target.expr, line=line)
+
+    def _branch_zero(self, m, ops, line):
+        self._expect(ops, 2, line)
+        reg, target = ops
+        if not isinstance(reg, P.RegOperand) or not isinstance(target, P.ExprOperand):
+            raise AsmError("%s needs: rs, target" % m, line)
+        self._emit(Op.MOVI, a=REG_AT, imm_expr=P.Num(0), line=line)
+        op = Op.BEQ if m == "bz" else Op.BNE
+        self._emit(op, a=reg.reg, b=REG_AT, imm_expr=target.expr, line=line)
+
+    def _jump(self, direct, indirect, ops, line):
+        self._expect(ops, 1, line)
+        target = ops[0]
+        if isinstance(target, P.RegOperand):
+            self._emit(indirect, a=target.reg, line=line)
+        elif isinstance(target, P.ExprOperand):
+            self._emit(direct, imm_expr=target.expr, line=line)
+        else:
+            raise AsmError("bad jump target", line)
+
+    def _ret(self, ops, line):
+        if not ops:
+            self._emit(Op.RET, imm_expr=P.Num(0), line=line)
+            return
+        self._expect(ops, 1, line)
+        if not isinstance(ops[0], P.ExprOperand):
+            raise AsmError("ret takes a byte count", line)
+        self._emit(Op.RET, imm_expr=ops[0].expr, line=line)
+
+    def _io_in(self, op, ops, line):
+        self._expect(ops, 2, line)
+        dst, port = ops
+        if not isinstance(dst, P.RegOperand) or not isinstance(port, P.PortOperand):
+            raise AsmError("in needs: rd, (base+disp)", line)
+        self._emit(op, a=dst.reg, b=port.base, imm_expr=port.disp, line=line)
+
+    def _io_out(self, op, ops, line):
+        self._expect(ops, 2, line)
+        port, src = ops
+        if not isinstance(port, P.PortOperand) or not isinstance(src, P.RegOperand):
+            raise AsmError("out needs: (base+disp), rs", line)
+        self._emit(op, a=port.base, b=src.reg, imm_expr=port.disp, line=line)
+
+    # ------------------------------------------------------------------
+    # Pass 2
+
+    def pass2(self):
+        text = bytearray()
+        relocs = []
+        for item in self.text_items:
+            imm = 0
+            if item.imm_expr is not None:
+                value = self._eval(item.imm_expr, item.line)
+                imm = value.addend & 0xFFFFFFFF
+                reloc = self._reloc_for(value, item.offset + 4, item.line)
+                if reloc is not None:
+                    relocs.append(reloc)
+                    if reloc.kind == RelocKind.IMPORT:
+                        imm = 0
+            text += encode(Instruction(item.op, item.a, item.b, item.c, imm))
+
+        data = bytearray()
+        for item in self.data_items:
+            if item.kind == "bytes":
+                data += item.payload
+                continue
+            width = {"word": 4, "half": 2, "byte": 1}[item.kind]
+            fmt = {"word": "<I", "half": "<H", "byte": "<B"}[item.kind]
+            for i, expr in enumerate(item.payload):
+                value = self._eval(expr, item.line)
+                raw = value.addend & ((1 << (8 * width)) - 1)
+                site = len(self.text_items) * INSTR_SIZE + item.offset + i * width
+                reloc = self._reloc_for(value, site, item.line)
+                if reloc is not None:
+                    if width != 4:
+                        raise AsmError("relocatable value needs .word",
+                                       item.line)
+                    relocs.append(reloc)
+                    if reloc.kind == RelocKind.IMPORT:
+                        raw = 0
+                data += struct.pack(fmt, raw)
+
+        exports = []
+        for name, line in self.exports:
+            value = self.symbols.get(name)
+            if value is None or value.base != "text":
+                raise AsmError("export %r is not a text label" % name, line)
+            exports.append(Export(name, value.addend))
+
+        entry = 0
+        if self.entry_name is not None:
+            value = self.symbols.get(self.entry_name)
+            if value is None or value.base != "text":
+                raise AsmError("entry %r is not a text label"
+                               % self.entry_name, 0)
+            entry = value.addend
+        elif exports:
+            entry = exports[0].offset
+
+        image = DrvImage(text=bytes(text), data=bytes(data),
+                         bss_size=self.bss_size, entry=entry,
+                         imports=list(self.imports), exports=exports,
+                         relocs=relocs)
+        image.validate()
+        return image
+
+    def _reloc_for(self, value, site, line):
+        if value.base is None:
+            return None
+        if value.base == "text":
+            return Reloc(RelocKind.TEXT, site)
+        if value.base == "data":
+            return Reloc(RelocKind.DATA, site)
+        if value.base == "import":
+            return Reloc(RelocKind.IMPORT, site, value.index)
+        raise AsmError("unsupported relocation base %r" % value.base, line)
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+
+    def _eval(self, expr, line, _depth=0):
+        if _depth > 32:
+            raise AsmError("circular .equ definition", line)
+        if isinstance(expr, P.Num):
+            return _Value(expr.value)
+        if isinstance(expr, P.ImportRef):
+            index = self.import_index.get(expr.name)
+            if index is None:
+                raise AsmError("reference to undeclared import %r"
+                               % expr.name, line)
+            return _Value(0, "import", index)
+        if isinstance(expr, P.Sym):
+            if expr.name in self.symbols:
+                value = self.symbols[expr.name]
+                return _Value(value.addend, value.base, value.index)
+            if expr.name in self.equ:
+                return self._eval(self.equ[expr.name], line, _depth + 1)
+            raise AsmError("undefined symbol %r" % expr.name, line)
+        if isinstance(expr, P.BinExpr):
+            left = self._eval(expr.left, line, _depth)
+            right = self._eval(expr.right, line, _depth)
+            return self._combine(expr.op, left, right, line)
+        raise AsmError("bad expression %r" % (expr,), line)
+
+    def _combine(self, op, left, right, line):
+        if op == "+":
+            if left.absolute:
+                return _Value(left.addend + right.addend, right.base,
+                              right.index)
+            if right.absolute:
+                return _Value(left.addend + right.addend, left.base,
+                              left.index)
+            raise AsmError("cannot add two relocatable values", line)
+        if op == "-":
+            if right.absolute:
+                return _Value(left.addend - right.addend, left.base,
+                              left.index)
+            if left.base == right.base and left.index == right.index:
+                return _Value(left.addend - right.addend)
+            raise AsmError("cannot subtract across sections", line)
+        if not (left.absolute and right.absolute):
+            raise AsmError("operator %r needs absolute operands" % op, line)
+        funcs = {
+            "*": lambda a, b: a * b,
+            "&": lambda a, b: a & b,
+            "|": lambda a, b: a | b,
+            "<<": lambda a, b: a << b,
+            ">>": lambda a, b: a >> b,
+        }
+        return _Value(funcs[op](left.addend, right.addend))

@@ -1,0 +1,219 @@
+"""The DRV binary image format (the reproduction's ``.sys`` analog).
+
+A DRV image carries text, initialized data, a bss size, an import table
+(named OS API functions the driver calls), an export table (at minimum the
+``DriverEntry`` analog) and relocations.  It deliberately contains **no**
+function symbols or type information beyond exports -- reverse engineering
+must recover structure from execution, not from metadata.
+
+Serialized layout (little endian)::
+
+    0x00  magic   "DRV1"
+    0x04  u16 version, u16 flags
+    0x08  u32 entry offset (into text)
+    0x0C  u32 text size
+    0x10  u32 data size
+    0x14  u32 bss size
+    0x18  u32 import count
+    0x1C  u32 export count
+    0x20  u32 reloc count
+    0x24  text bytes
+          data bytes
+          imports:  per entry u16 name length + name bytes
+          exports:  per entry u16 name length + name bytes + u32 text offset
+          relocs:   per entry u8 kind + u32 site offset + u32 symbol index
+"""
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.errors import BinFmtError
+
+MAGIC = b"DRV1"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHHIIIIIII")
+
+
+class RelocKind(IntEnum):
+    """Relocation kinds applied by the guest-OS loader."""
+
+    TEXT = 0      #: add the text load base to the imm field at the site
+    DATA = 1      #: add the data load base to the imm field at the site
+    IMPORT = 2    #: store the import-thunk address of import ``index``
+
+
+@dataclass(frozen=True)
+class Import:
+    """One imported OS API function."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Export:
+    """One exported symbol (text offset)."""
+
+    name: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class Reloc:
+    """One relocation site.
+
+    ``site`` is the byte offset of the 32-bit imm field to patch.  Sites in
+    ``[0, text_size)`` live in text; sites at ``text_size + k`` patch the
+    k-th byte of the data segment (used for function-pointer tables).
+    """
+
+    kind: RelocKind
+    site: int
+    index: int = 0
+
+
+@dataclass
+class DrvImage:
+    """An in-memory DRV binary image."""
+
+    text: bytes
+    data: bytes = b""
+    bss_size: int = 0
+    entry: int = 0
+    imports: list = field(default_factory=list)
+    exports: list = field(default_factory=list)
+    relocs: list = field(default_factory=list)
+
+    @property
+    def file_size(self):
+        """Size of the serialized image ("Driver Size" in Table 1)."""
+        return len(self.to_bytes())
+
+    @property
+    def code_size(self):
+        """Size of the code segment ("Code Segment Size" in Table 1)."""
+        return len(self.text)
+
+    def import_index(self, name):
+        """Index of import ``name``, raising ``KeyError`` when absent."""
+        for i, imp in enumerate(self.imports):
+            if imp.name == name:
+                return i
+        raise KeyError(name)
+
+    def export_offset(self, name):
+        """Text offset of export ``name``, raising ``KeyError`` when absent."""
+        for exp in self.exports:
+            if exp.name == name:
+                return exp.offset
+        raise KeyError(name)
+
+    def to_bytes(self):
+        """Serialize the image."""
+        parts = [
+            _HEADER.pack(
+                MAGIC, VERSION, 0, self.entry, len(self.text), len(self.data),
+                self.bss_size, len(self.imports), len(self.exports),
+                len(self.relocs),
+            ),
+            self.text,
+            self.data,
+        ]
+        for imp in self.imports:
+            name = imp.name.encode("ascii")
+            parts.append(struct.pack("<H", len(name)) + name)
+        for exp in self.exports:
+            name = exp.name.encode("ascii")
+            parts.append(struct.pack("<H", len(name)) + name)
+            parts.append(struct.pack("<I", exp.offset))
+        for reloc in self.relocs:
+            parts.append(struct.pack("<BII", int(reloc.kind), reloc.site,
+                                     reloc.index))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob):
+        """Deserialize an image, validating structure."""
+        if len(blob) < _HEADER.size:
+            raise BinFmtError("image too small for header")
+        (magic, version, _flags, entry, text_size, data_size, bss_size,
+         n_imports, n_exports, n_relocs) = _HEADER.unpack_from(blob, 0)
+        if magic != MAGIC:
+            raise BinFmtError("bad magic %r" % (magic,))
+        if version != VERSION:
+            raise BinFmtError("unsupported version %d" % version)
+
+        pos = _HEADER.size
+        end = pos + text_size
+        if end > len(blob):
+            raise BinFmtError("truncated text segment")
+        text = bytes(blob[pos:end])
+        pos = end
+
+        end = pos + data_size
+        if end > len(blob):
+            raise BinFmtError("truncated data segment")
+        data = bytes(blob[pos:end])
+        pos = end
+
+        imports = []
+        for _ in range(n_imports):
+            name, pos = _read_name(blob, pos)
+            imports.append(Import(name))
+
+        exports = []
+        for _ in range(n_exports):
+            name, pos = _read_name(blob, pos)
+            if pos + 4 > len(blob):
+                raise BinFmtError("truncated export table")
+            (offset,) = struct.unpack_from("<I", blob, pos)
+            pos += 4
+            exports.append(Export(name, offset))
+
+        relocs = []
+        for _ in range(n_relocs):
+            if pos + 9 > len(blob):
+                raise BinFmtError("truncated relocation table")
+            kind, site, index = struct.unpack_from("<BII", blob, pos)
+            pos += 9
+            try:
+                kind = RelocKind(kind)
+            except ValueError:
+                raise BinFmtError("bad relocation kind %d" % kind) from None
+            relocs.append(Reloc(kind, site, index))
+
+        image = cls(text=text, data=data, bss_size=bss_size, entry=entry,
+                    imports=imports, exports=exports, relocs=relocs)
+        image.validate()
+        return image
+
+    def validate(self):
+        """Check internal consistency; raises :class:`BinFmtError`."""
+        if self.entry >= len(self.text) and self.text:
+            raise BinFmtError("entry point 0x%x outside text" % self.entry)
+        if len(self.text) % 8 != 0:
+            raise BinFmtError("text size not a multiple of instruction size")
+        limit = len(self.text) + len(self.data)
+        for reloc in self.relocs:
+            if reloc.site + 4 > limit:
+                raise BinFmtError("relocation site 0x%x out of range"
+                                  % reloc.site)
+            if reloc.kind == RelocKind.IMPORT and \
+                    reloc.index >= len(self.imports):
+                raise BinFmtError("relocation references import %d of %d"
+                                  % (reloc.index, len(self.imports)))
+        for exp in self.exports:
+            if exp.offset >= len(self.text):
+                raise BinFmtError("export %s outside text" % exp.name)
+
+
+def _read_name(blob, pos):
+    if pos + 2 > len(blob):
+        raise BinFmtError("truncated name table")
+    (length,) = struct.unpack_from("<H", blob, pos)
+    pos += 2
+    if pos + length > len(blob):
+        raise BinFmtError("truncated name")
+    name = blob[pos:pos + length].decode("ascii")
+    return name, pos + length

@@ -1,0 +1,49 @@
+"""Disassembler for DRV images (debugging / developer aid).
+
+The paper notes that RevNIC-generated C is "substantially more accessible
+than disassembly" -- this module provides that disassembly baseline and is
+also used by the static analysis behind Table 1.
+"""
+
+from repro.isa.encoding import INSTR_SIZE, decode
+from repro.isa.opcodes import Op
+from repro.layout import TEXT_BASE
+
+
+def disassemble_image(image, base=TEXT_BASE):
+    """Yield ``(address, Instruction, text)`` for every instruction in
+    ``image``'s code segment."""
+    exports = {exp.offset: exp.name for exp in image.exports}
+    for offset in range(0, len(image.text), INSTR_SIZE):
+        instr = decode(image.text, offset)
+        address = base + offset
+        label = exports.get(offset)
+        text = instr.text()
+        if label is not None:
+            text = "%s:\n    %s" % (label, text)
+        yield address, instr, text
+
+
+def static_call_targets(image):
+    """Return the set of text offsets that are targets of direct CALLs.
+
+    This is the static function-discovery analysis used to fill the
+    "Functions Implemented by the Original Driver" column of Table 1: a
+    function is an entry point (export), a direct call target, or a code
+    address materialized into a register (a function pointer, e.g. a
+    registered entry point or timer handler).
+    """
+    targets = set()
+    text_relocs = {r.site for r in image.relocs
+                   if r.kind.name == "TEXT" and r.site < len(image.text)}
+    for offset in range(0, len(image.text), INSTR_SIZE):
+        instr = decode(image.text, offset)
+        has_text_reloc = (offset + 4) in text_relocs
+        if instr.op == Op.CALL and has_text_reloc:
+            targets.add(instr.imm)
+        elif instr.op == Op.MOVI and has_text_reloc:
+            # A code pointer materialized into a register: registered
+            # entry point, timer handler, or an indirect-call target.
+            targets.add(instr.imm)
+    targets.update(exp.offset for exp in image.exports)
+    return targets

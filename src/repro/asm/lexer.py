@@ -1,0 +1,77 @@
+"""Tokenizer for R32 assembly source."""
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import AsmError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>;[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<int>\d+)
+  | (?P<name>\.?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct><<|>>|[@:,\[\]()+\-*&|])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source line for diagnostics."""
+
+    kind: str      # 'string' | 'int' | 'name' | 'punct'
+    value: object
+    line: int
+
+
+def tokenize_line(text, line_number):
+    """Tokenize one source line, dropping whitespace and comments."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise AsmError("unexpected character %r" % text[pos], line_number)
+        pos = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        raw = match.group()
+        if kind == "hex":
+            tokens.append(Token("int", int(raw, 16), line_number))
+        elif kind == "int":
+            tokens.append(Token("int", int(raw, 10), line_number))
+        elif kind == "string":
+            tokens.append(Token("string", _unescape(raw[1:-1], line_number),
+                                line_number))
+        elif kind == "name":
+            tokens.append(Token("name", raw, line_number))
+        else:
+            tokens.append(Token("punct", raw, line_number))
+    return tokens
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", '"': '"', "\\": "\\"}
+
+
+def _unescape(body, line_number):
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body):
+                raise AsmError("dangling escape in string", line_number)
+            esc = body[i]
+            if esc not in _ESCAPES:
+                raise AsmError("unknown escape \\%s" % esc, line_number)
+            out.append(_ESCAPES[esc])
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)

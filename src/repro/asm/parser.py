@@ -1,0 +1,298 @@
+"""Parser for R32 assembly: lines -> statements with structured operands."""
+
+from dataclasses import dataclass, field
+
+from repro.errors import AsmError
+from repro.asm.lexer import Token, tokenize_line
+from repro.isa.registers import _NAME_TO_NUM
+
+
+# --------------------------------------------------------------------------
+# Expression AST (evaluated by the assembler against the symbol table).
+
+@dataclass(frozen=True)
+class Num:
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Sym:
+    """Reference to a label or ``.equ`` constant."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ImportRef:
+    """Reference to an imported OS API function (``@Name``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinExpr:
+    """Binary arithmetic over sub-expressions."""
+
+    op: str
+    left: object
+    right: object
+
+
+# --------------------------------------------------------------------------
+# Operands.
+
+@dataclass(frozen=True)
+class RegOperand:
+    """A register operand."""
+
+    reg: int
+
+
+@dataclass(frozen=True)
+class MemOperand:
+    """A memory operand ``[base + disp]`` (``base`` may be ``None``)."""
+
+    base: object   # int register number or None for absolute
+    disp: object   # expression AST
+
+
+@dataclass(frozen=True)
+class PortOperand:
+    """A port-I/O operand ``(base + disp)``."""
+
+    base: object
+    disp: object
+
+
+@dataclass(frozen=True)
+class ExprOperand:
+    """An immediate / label expression operand."""
+
+    expr: object
+
+
+# --------------------------------------------------------------------------
+# Statements.
+
+@dataclass
+class LabelStmt:
+    """``name:`` -- defines a label at the current location."""
+
+    name: str
+    line: int
+
+
+@dataclass
+class DirectiveStmt:
+    """``.name arg, arg...``."""
+
+    name: str
+    args: list
+    line: int
+
+
+@dataclass
+class InstrStmt:
+    """A (possibly pseudo-) instruction with parsed operands."""
+
+    mnemonic: str
+    operands: list = field(default_factory=list)
+    line: int = 0
+
+
+def parse_source(source):
+    """Parse assembly source text into a list of statements."""
+    statements = []
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        tokens = tokenize_line(raw, line_number)
+        if not tokens:
+            continue
+        statements.extend(_parse_line(tokens, line_number))
+    return statements
+
+
+def _parse_line(tokens, line):
+    cursor = _Cursor(tokens, line)
+    out = []
+    # Leading labels: "name:" possibly followed by more on the same line.
+    while (cursor.peek_kind() == "name"
+           and not cursor.peek().value.startswith(".")
+           and cursor.peek2_is(":")):
+        name = cursor.take("name").value
+        cursor.take_punct(":")
+        out.append(LabelStmt(name, line))
+    if cursor.done():
+        return out
+    head = cursor.take("name")
+    if head.value.startswith("."):
+        out.append(_parse_directive(head.value, cursor, line))
+    else:
+        out.append(_parse_instr(head.value.lower(), cursor, line))
+    if not cursor.done():
+        raise AsmError("trailing junk %r" % (cursor.peek().value,), line)
+    return out
+
+
+def _parse_directive(name, cursor, line):
+    args = []
+    while not cursor.done():
+        token = cursor.peek()
+        if token.kind == "string":
+            args.append(cursor.take("string").value)
+        else:
+            args.append(_parse_expr(cursor, line))
+        if not cursor.done():
+            cursor.take_punct(",")
+    return DirectiveStmt(name.lower(), args, line)
+
+
+def _parse_instr(mnemonic, cursor, line):
+    operands = []
+    while not cursor.done():
+        operands.append(_parse_operand(cursor, line))
+        if not cursor.done():
+            cursor.take_punct(",")
+    return InstrStmt(mnemonic, operands, line)
+
+
+def _parse_operand(cursor, line):
+    token = cursor.peek()
+    if token.kind == "punct" and token.value == "[":
+        cursor.take_punct("[")
+        base, disp = _parse_base_disp(cursor, line, "]")
+        return MemOperand(base, disp)
+    if token.kind == "punct" and token.value == "(":
+        # Disambiguate a port operand "(reg...)" from a parenthesized
+        # expression "(1 + 2)": a port operand starts with a register name.
+        if cursor.peek2_is_register():
+            cursor.take_punct("(")
+            base, disp = _parse_base_disp(cursor, line, ")")
+            return PortOperand(base, disp)
+        return ExprOperand(_parse_expr(cursor, line))
+    if token.kind == "name" and token.value.lower() in _NAME_TO_NUM:
+        cursor.advance()
+        return RegOperand(_NAME_TO_NUM[token.value.lower()])
+    return ExprOperand(_parse_expr(cursor, line))
+
+
+def _parse_base_disp(cursor, line, closer):
+    """Parse the inside of ``[...]`` / ``(...)``: ``reg``, ``reg+expr``,
+    ``reg-expr`` or a bare absolute expression."""
+    base = None
+    token = cursor.peek()
+    if token is not None and token.kind == "name" \
+            and token.value.lower() in _NAME_TO_NUM:
+        base = _NAME_TO_NUM[token.value.lower()]
+        cursor.advance()
+        nxt = cursor.peek()
+        if nxt is not None and nxt.kind == "punct" and nxt.value in "+-":
+            sign = cursor.take("punct").value
+            disp = _parse_expr(cursor, line)
+            if sign == "-":
+                disp = BinExpr("-", Num(0), disp)
+        else:
+            disp = Num(0)
+    else:
+        disp = _parse_expr(cursor, line)
+    cursor.take_punct(closer)
+    return base, disp
+
+
+# Precedence-climbing expression parser: | < & < << >> < + - < * .
+_PRECEDENCE = {"|": 1, "&": 2, "<<": 3, ">>": 3, "+": 4, "-": 4, "*": 5}
+
+
+def _parse_expr(cursor, line, min_prec=1):
+    left = _parse_primary(cursor, line)
+    while True:
+        token = cursor.peek()
+        if token is None or token.kind != "punct" \
+                or token.value not in _PRECEDENCE:
+            return left
+        prec = _PRECEDENCE[token.value]
+        if prec < min_prec:
+            return left
+        op = cursor.take("punct").value
+        right = _parse_expr(cursor, line, prec + 1)
+        left = BinExpr(op, left, right)
+
+
+def _parse_primary(cursor, line):
+    token = cursor.peek()
+    if token is None:
+        raise AsmError("expected expression", line)
+    if token.kind == "int":
+        cursor.advance()
+        return Num(token.value)
+    if token.kind == "punct" and token.value == "(":
+        cursor.take_punct("(")
+        inner = _parse_expr(cursor, line)
+        cursor.take_punct(")")
+        return inner
+    if token.kind == "punct" and token.value == "-":
+        cursor.advance()
+        return BinExpr("-", Num(0), _parse_primary(cursor, line))
+    if token.kind == "punct" and token.value == "@":
+        cursor.advance()
+        name = cursor.take("name").value
+        return ImportRef(name)
+    if token.kind == "name":
+        cursor.advance()
+        return Sym(token.value)
+    raise AsmError("unexpected token %r in expression" % (token.value,), line)
+
+
+class _Cursor:
+    """Token stream cursor with convenience accessors."""
+
+    def __init__(self, tokens, line):
+        self._tokens = tokens
+        self._pos = 0
+        self._line = line
+
+    def done(self):
+        return self._pos >= len(self._tokens)
+
+    def peek(self):
+        if self.done():
+            return None
+        return self._tokens[self._pos]
+
+    def peek_kind(self):
+        token = self.peek()
+        return None if token is None else token.kind
+
+    def peek2_is(self, punct):
+        if self._pos + 1 >= len(self._tokens):
+            return False
+        token = self._tokens[self._pos + 1]
+        return token.kind == "punct" and token.value == punct
+
+    def peek2_is_register(self):
+        if self._pos + 1 >= len(self._tokens):
+            return False
+        token = self._tokens[self._pos + 1]
+        return token.kind == "name" and token.value.lower() in _NAME_TO_NUM
+
+    def advance(self):
+        self._pos += 1
+
+    def take(self, kind):
+        token = self.peek()
+        if token is None or token.kind != kind:
+            raise AsmError("expected %s, got %r"
+                           % (kind, None if token is None else token.value),
+                           self._line)
+        self._pos += 1
+        return token
+
+    def take_punct(self, value):
+        token = self.peek()
+        if token is None or token.kind != "punct" or token.value != value:
+            raise AsmError("expected %r, got %r"
+                           % (value, None if token is None else token.value),
+                           self._line)
+        self._pos += 1
+        return token

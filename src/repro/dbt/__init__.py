@@ -1,0 +1,11 @@
+"""Dynamic binary translator: R32 machine code -> IR translation blocks.
+
+The paper's analog: "RevNIC passes the driver code to a dynamic binary
+translator (DBT) to generate equivalent blocks of LLVM bitcode ... QEMU
+passes the current program counter to the DBT, which translates the code
+until it finds an instruction altering the control flow" (section 3.4).
+"""
+
+from repro.dbt.translator import Translator, translate_block
+
+__all__ = ["Translator", "translate_block"]

@@ -1,0 +1,71 @@
+"""The driver corpus.
+
+``asm/*.s`` are the sources of the four "proprietary Windows" drivers.
+They are assembled to opaque DRV binaries by :func:`build_driver`; every
+consumer downstream of this module (the guest OS, RevNIC, the evaluation)
+sees only the binaries, mirroring the paper's setting where "at no time in
+this process did we have access to the drivers' source code" (section 5).
+
+:mod:`repro.drivers.native` contains the hand-written native target-OS
+drivers used as performance baselines ("Linux Original" etc. in the
+figures).
+"""
+
+import os
+from dataclasses import dataclass
+
+from repro.asm import assemble_file
+
+_ASM_DIR = os.path.join(os.path.dirname(__file__), "asm")
+
+
+@dataclass(frozen=True)
+class DriverInfo:
+    """Metadata for one reverse-engineering target."""
+
+    name: str            # short name used throughout the evaluation
+    windows_file: str    # the paper's original Windows driver file name
+    device: str          # key into repro.hw.NIC_MODELS
+    uses_dma: bool
+    link_mbps: int       # rated link speed of the physical chip
+
+
+DRIVERS = {
+    "pcnet": DriverInfo("pcnet", "pcntpci5.sys", "pcnet",
+                        uses_dma=True, link_mbps=100),
+    "rtl8139": DriverInfo("rtl8139", "rtl8139.sys", "rtl8139",
+                          uses_dma=True, link_mbps=100),
+    "smc91c111": DriverInfo("smc91c111", "lan9000.sys", "smc91c111",
+                            uses_dma=False, link_mbps=10),
+    "rtl8029": DriverInfo("rtl8029", "rtl8029.sys", "rtl8029",
+                          uses_dma=False, link_mbps=10),
+}
+
+_image_cache = {}
+
+
+def driver_source_path(name):
+    """Path of the assembly source for driver ``name``."""
+    if name not in DRIVERS:
+        raise KeyError("unknown driver %r" % name)
+    return os.path.join(_ASM_DIR, "%s.s" % name)
+
+
+def build_driver(name):
+    """Assemble driver ``name`` to a :class:`~repro.asm.DrvImage`.
+
+    Images are cached per process; the binary bytes are the only artifact
+    the reverse-engineering pipeline consumes.
+    """
+    image = _image_cache.get(name)
+    if image is None:
+        image = assemble_file(driver_source_path(name))
+        _image_cache[name] = image
+    return image
+
+
+def device_class(name):
+    """The device-model class driver ``name`` programs."""
+    from repro.hw import NIC_MODELS
+
+    return NIC_MODELS[DRIVERS[name].device]

@@ -1,0 +1,64 @@
+"""Exception hierarchy shared by every subsystem in the reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AsmError(ReproError):
+    """Raised by the assembler on malformed source."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class BinFmtError(ReproError):
+    """Raised when a DRV binary image is malformed."""
+
+
+class DecodeError(ReproError):
+    """Raised when machine code cannot be decoded."""
+
+
+class VmFault(ReproError):
+    """Base class for guest faults raised during concrete execution."""
+
+
+class MemoryFault(VmFault):
+    """Access to an unmapped or protected guest address."""
+
+    def __init__(self, address, kind="access"):
+        self.address = address
+        self.kind = kind
+        super().__init__("memory fault: %s at 0x%08x" % (kind, address))
+
+
+class BusError(VmFault):
+    """I/O-port or MMIO access with no device behind it."""
+
+
+class InvalidInstruction(VmFault):
+    """The CPU fetched an undecodable or illegal instruction."""
+
+
+class GuestOsError(ReproError):
+    """Raised by the guest-OS simulator (bad API usage by a driver, etc.)."""
+
+
+class SolverError(ReproError):
+    """Raised when the constraint solver cannot decide a query."""
+
+
+class SymexError(ReproError):
+    """Raised by the symbolic execution engine."""
+
+
+class SynthesisError(ReproError):
+    """Raised by the trace-to-driver synthesizer."""
+
+
+class TemplateError(ReproError):
+    """Raised when a driver template cannot be instantiated."""

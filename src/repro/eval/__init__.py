@@ -1,0 +1,11 @@
+"""Evaluation harness reproducing every table and figure of the paper.
+
+Each ``table*``/``fig*`` module exposes a ``compute()`` returning structured
+data and a ``render()`` printing the same rows/series the paper reports.
+:mod:`repro.eval.runner` caches the expensive pipeline stages (RevNIC runs,
+synthesis) so all experiments in one process share them.
+"""
+
+from repro.eval.runner import PipelineCache, get_cache
+
+__all__ = ["PipelineCache", "get_cache"]

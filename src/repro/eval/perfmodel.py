@@ -1,0 +1,188 @@
+"""Performance model behind Figures 2-7.
+
+Driver costs are **measured** -- the original binary's retired instruction
+and device-access counts on the concrete CPU, the synthesized driver's
+identical counters from the IR interpreter -- and combined with per-platform
+and per-OS profiles into throughput and CPU-utilization curves.
+
+Platform profiles substitute for the paper's physical testbeds (PC, FPGA4U
+board, QEMU and VMware hosts); see DESIGN.md's substitution table.  The
+key *shape* properties are structural, not tuned: PIO drivers saturate the
+CPU (RTL8029/91C111), virtual NICs have no rated-speed cap (so VM curves
+keep climbing), KitOS pays no network-stack cost, and the synthesized
+driver's instruction count is within a few percent of the original's
+because it executes the same recovered code.
+"""
+
+from dataclasses import dataclass
+
+from repro.drivers import DRIVERS, build_driver, device_class
+from repro.guestos.harness import DriverHarness
+from repro.net import UdpWorkload
+from repro.targetos import TARGET_OSES
+from repro.templates import NicTemplate
+
+MAC = b"\x52\x54\x00\xAA\xBB\xCC"
+PEER = b"\x02\x00\x00\x00\x00\x01"
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """A hardware testbed profile."""
+
+    name: str
+    cpu_mhz: float
+    cycles_per_instr: float
+    io_access_cycles: float       # cost of one device register access
+    link_mbps: float              # rated NIC speed; None = virtual (uncapped)
+    bus_limit_mbps: float = None  # shared-bus ceiling (the FPGA's SDRAM bus)
+    #: I-cache pressure factor per byte of extra code footprint (FPGA only;
+    #: models the paper's 87KB-vs-59KB synthesized-binary observation)
+    icache_penalty_per_kb: float = 0.0
+
+
+#: The paper's four testbeds (section 5.1).
+PLATFORMS = {
+    "pc": PlatformProfile("pc", cpu_mhz=2400.0, cycles_per_instr=1.2,
+                          io_access_cycles=1200.0, link_mbps=100.0),
+    "fpga": PlatformProfile("fpga", cpu_mhz=75.0, cycles_per_instr=1.6,
+                            io_access_cycles=6.0, link_mbps=100.0,
+                            bus_limit_mbps=45.0,
+                            icache_penalty_per_kb=0.004),
+    "qemu": PlatformProfile("qemu", cpu_mhz=2000.0, cycles_per_instr=1.4,
+                            io_access_cycles=400.0, link_mbps=None),
+    "vmware": PlatformProfile("vmware", cpu_mhz=2000.0,
+                              cycles_per_instr=1.3,
+                              io_access_cycles=500.0, link_mbps=None),
+}
+
+
+@dataclass
+class DriverCost:
+    """Measured per-packet driver cost at one packet size."""
+
+    instructions: float
+    io_accesses: float
+    uses_dma: bool
+
+
+def _frame_for(size, workload):
+    return workload.next_frame().to_bytes()
+
+
+def measure_original(driver_name, sizes, packets=6):
+    """Measure the original binary driver's per-packet send cost on the
+    source OS, per UDP payload size.  Returns {size: DriverCost}."""
+    info = DRIVERS[driver_name]
+    out = {}
+    for size in sizes:
+        harness = DriverHarness(build_driver(driver_name),
+                                device_class(driver_name), mac=MAC)
+        harness.boot()
+        workload = UdpWorkload(MAC, PEER, size)
+        cpu = harness.machine.cpu
+        start_instr, start_io = cpu.instret, cpu.io_ops
+        for _ in range(packets):
+            harness.send(_frame_for(size, workload))
+        out[size] = DriverCost(
+            instructions=(cpu.instret - start_instr) / packets,
+            io_accesses=(cpu.io_ops - start_io) / packets,
+            uses_dma=info.uses_dma)
+    return out
+
+
+def measure_synthesized(run, target_os_name, sizes, packets=6):
+    """Measure the synthesized driver's per-packet send cost on a target
+    OS.  ``run`` is a :class:`~repro.eval.runner.PipelineRun`."""
+    info = DRIVERS[run.name]
+    out = {}
+    for size in sizes:
+        target = TARGET_OSES[target_os_name](device_class(run.name), mac=MAC)
+        template = NicTemplate(run.synthesized, target,
+                               original_image=run.image)
+        template.initialize()
+        workload = UdpWorkload(MAC, PEER, size)
+        env = template.runtime.env
+        start_instr, start_io = env.instrs_retired, env.io_ops
+        for _ in range(packets):
+            template.send(_frame_for(size, workload))
+        out[size] = DriverCost(
+            instructions=(env.instrs_retired - start_instr) / packets,
+            io_accesses=(env.io_ops - start_io) / packets,
+            uses_dma=info.uses_dma)
+    return out
+
+
+#: Hand-optimization factor applied to derive the native target-OS driver's
+#: cost from the measured hardware-protocol cost (the paper's native
+#: drivers are hand-tuned but perform the same mandatory device I/O;
+#: documented as a substitution in EXPERIMENTS.md).
+NATIVE_HAND_TUNING = 0.96
+
+
+@dataclass
+class PacketPoint:
+    size: int
+    throughput_mbps: float
+    cpu_utilization: float
+    #: fraction of the packet's CPU time spent inside the driver itself
+    #: (Figure 5's metric)
+    driver_fraction: float = 0.0
+
+
+def synthesized_code_kb(run):
+    """Approximate synthesized binary size (paper: 87KB vs the native
+    59KB on the FPGA): recovered instructions re-encoded at 8 bytes each
+    plus template boilerplate."""
+    instrs = sum(len(b.instr_addrs)
+                 for f in run.synthesized.functions.values()
+                 for b in f.blocks.values())
+    template_overhead = 24 * 1024
+    return (instrs * 8 + template_overhead) / 1024.0
+
+
+def model_point(size, cost, os_traits, platform, code_kb=None,
+                irqs_per_packet=1.0):
+    """Combine a measured driver cost with OS + platform profiles.
+
+    The benchmark send path is synchronous (the next packet is handed down
+    after the previous completion interrupt), so per-packet time is the
+    *sum* of CPU work and wire serialization; CPU utilization is the CPU
+    share of that time.  Virtual NICs have no wire time ("the virtual NIC
+    can confirm transmission immediately"), so VM runs are CPU-bound at
+    ~100% utilization, exactly as in section 5.3.
+    """
+    wire_bytes = size + 8 + 20 + 14 + 4 + 20  # UDP+IP+Ethernet+FCS+framing
+    cpi = platform.cycles_per_instr
+    if code_kb is not None and platform.icache_penalty_per_kb:
+        cpi *= 1.0 + platform.icache_penalty_per_kb * code_kb
+    driver_cycles = cost.instructions * cpi \
+        + cost.io_accesses * platform.io_access_cycles
+    os_instr = os_traits.stack_cost + os_traits.stack_per_byte * size \
+        + irqs_per_packet * os_traits.irq_cost
+    cycles = driver_cycles + os_instr * cpi
+    cpu_seconds = cycles / (platform.cpu_mhz * 1e6)
+
+    if platform.link_mbps is not None:
+        wire_seconds = wire_bytes * 8 / (platform.link_mbps * 1e6)
+    else:
+        wire_seconds = 0.0
+    if platform.bus_limit_mbps is not None:
+        wire_seconds = max(wire_seconds,
+                           wire_bytes * 8 / (platform.bus_limit_mbps * 1e6))
+
+    packet_seconds = cpu_seconds + wire_seconds
+    throughput = size * 8 / packet_seconds / 1e6
+    utilization = cpu_seconds / packet_seconds
+    total_cycles = packet_seconds * platform.cpu_mhz * 1e6
+    return PacketPoint(size=size, throughput_mbps=throughput,
+                       cpu_utilization=utilization,
+                       driver_fraction=driver_cycles / total_cycles)
+
+
+def native_cost(cost):
+    """Derive the native target-OS driver's cost from the measured
+    hardware-protocol cost."""
+    return DriverCost(instructions=cost.instructions * NATIVE_HAND_TUNING,
+                      io_accesses=cost.io_accesses,
+                      uses_dma=cost.uses_dma)

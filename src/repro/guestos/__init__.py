@@ -1,0 +1,27 @@
+"""The source-OS environment (the reproduction's Windows/NDIS analog).
+
+The guest OS loads DRV driver binaries into the virtual machine, resolves
+their imports to an NDIS-like API table, discovers driver entry points by
+monitoring the registration call (``NdisMRegisterMiniport``), and invokes
+those entry points -- concretely for functional runs, or under RevNIC's
+control for symbolic exploration.
+"""
+
+from repro.guestos.structures import (
+    MINIPORT_FIELDS,
+    NdisStatus,
+    Oid,
+    PacketFilter,
+)
+from repro.guestos.loader import LoadedImage, load_image
+from repro.guestos.ndis import NdisEnv
+
+__all__ = [
+    "MINIPORT_FIELDS",
+    "NdisStatus",
+    "Oid",
+    "PacketFilter",
+    "LoadedImage",
+    "load_image",
+    "NdisEnv",
+]

@@ -1,0 +1,37 @@
+"""Behavioural NIC device models.
+
+These are the reproduction's stand-ins for the four physical chips the paper
+evaluates (Table 1): AMD PCNet, Realtek RTL8139, SMSC 91C111 and Realtek
+RTL8029 (NE2000-class).  Each model exposes a register interface in a
+*different programming style* -- descriptor-ring bus-master DMA, indirect
+RAP/RDP register access, bank-switched FIFOs, page-register PIO with remote
+DMA -- so the reverse-engineering pipeline is exercised over genuinely
+different hardware protocols.
+
+RevNIC itself never touches these models (it uses symbolic hardware); they
+exist for functional verification (Table 2 I/O-trace comparison) and the
+performance evaluation (Figures 2-7).
+"""
+
+from repro.hw.base import NicDevice, PciDescriptor
+from repro.hw.ne2000 import Ne2000Device
+from repro.hw.rtl8139 import Rtl8139Device
+from repro.hw.pcnet import PcnetDevice
+from repro.hw.smc91c111 import Smc91c111Device
+
+NIC_MODELS = {
+    "rtl8029": Ne2000Device,
+    "rtl8139": Rtl8139Device,
+    "pcnet": PcnetDevice,
+    "smc91c111": Smc91c111Device,
+}
+
+__all__ = [
+    "NicDevice",
+    "PciDescriptor",
+    "Ne2000Device",
+    "Rtl8139Device",
+    "PcnetDevice",
+    "Smc91c111Device",
+    "NIC_MODELS",
+]

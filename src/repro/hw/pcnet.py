@@ -1,0 +1,260 @@
+"""AMD PCNet (Am79C970) device model.
+
+Programming style: **indirect register access** -- the driver writes a
+register number to RAP and then reads/writes the value through RDP (CSRs)
+or BDP (BCRs).  This is exactly the "write a register address on one port
+and read the value on another" access pattern the paper calls out as a
+candidate for function models during exploration (section 3.2).
+
+Descriptor rings and the initialization block live in guest memory and are
+fetched by the device via DMA.
+
+Port map (0x20 bytes):
+
+====== =====================================================
+0x00   APROM: station MAC in bytes 0-5 (byte reads)
+0x10   RDP (u16): CSR data, selected by RAP
+0x12   RAP (u16): register number for RDP/BDP
+0x14   RESET: reading performs a soft reset
+0x16   BDP (u16): BCR data, selected by RAP
+====== =====================================================
+
+CSRs: 0=status/control (INIT=0x01 STRT=0x02 STOP=0x04 TDMD=0x08 IENA=0x40
+INTR=0x80 IDON=0x100 TINT=0x200 RINT=0x400; interrupt bits write-1-clear),
+1/2 = init-block physical address lo/hi16, 15 = mode (PROM=0x8000).
+BCRs: 4 = LED control, 7 = Wake-on-LAN control (MAGIC=0x1), 9 = full duplex
+(FDEN=0x1).
+
+Init block (32 bytes, little endian)::
+
+    u16 mode        u16 rlen (rx ring entries)
+    u16 tlen        u16 reserved
+    u8  padr[6]     u16 reserved
+    u8  ladrf[8]    (multicast hash)
+    u32 rdra        (rx descriptor ring base)
+    u32 tdra        (tx descriptor ring base)
+
+Descriptors (16 bytes): u32 buffer address, u32 length, u32 status
+(OWN=0x80000000 -- owned by device), u32 message length (written by the
+device on RX completion).
+"""
+
+import struct
+
+from repro.hw.base import NicDevice, PciDescriptor, mask_width
+
+# CSR0 bits
+CSR0_INIT = 0x0001
+CSR0_STRT = 0x0002
+CSR0_STOP = 0x0004
+CSR0_TDMD = 0x0008
+CSR0_IENA = 0x0040
+CSR0_INTR = 0x0080
+CSR0_IDON = 0x0100
+CSR0_TINT = 0x0200
+CSR0_RINT = 0x0400
+
+CSR15_PROM = 0x8000
+
+BCR7_MAGIC = 0x0001
+BCR9_FDEN = 0x0001
+
+DESC_OWN = 0x8000_0000
+DESC_SIZE = 16
+INIT_BLOCK_SIZE = 32
+
+REG_APROM = 0x00
+REG_RDP = 0x10
+REG_RAP = 0x12
+REG_RESET = 0x14
+REG_BDP = 0x16
+
+
+class PcnetDevice(NicDevice):
+    """Behavioural AMD PCNet model (DMA rings + init block)."""
+
+    PCI = PciDescriptor(vendor_id=0x1022, device_id=0x2000,
+                        io_base=0x1000, io_size=0x20, irq_line=10)
+
+    def __init__(self, mac, **kwargs):
+        super().__init__(mac, **kwargs)
+        self.rap = 0
+        self.csr = {0: CSR0_STOP, 1: 0, 2: 0, 15: 0}
+        self.bcr = {4: 0, 7: 0, 9: 0}
+        self.rdra = 0
+        self.tdra = 0
+        self.rlen = 0
+        self.tlen = 0
+        self.rx_index = 0
+        self.tx_index = 0
+
+    # ------------------------------------------------------------------
+
+    def reset(self):
+        self.csr = {0: CSR0_STOP, 1: 0, 2: 0, 15: 0}
+        self.rap = 0
+        self.rx_enabled = False
+        self.tx_enabled = False
+        self.rx_index = 0
+        self.tx_index = 0
+
+    def _update_irq(self):
+        csr0 = self.csr[0]
+        if csr0 & CSR0_IENA and csr0 & (CSR0_IDON | CSR0_TINT | CSR0_RINT):
+            self.csr[0] |= CSR0_INTR
+            self.raise_interrupt()
+        else:
+            self.csr[0] &= ~CSR0_INTR
+
+    # ------------------------------------------------------------------
+    # Register access
+
+    def io_read(self, offset, width):
+        if REG_APROM <= offset < REG_APROM + 16:
+            value = 0
+            for i in range(width):
+                index = offset - REG_APROM + i
+                byte = self.mac[index] if index < 6 else 0
+                value |= byte << (8 * i)
+            return value
+        if offset == REG_RDP:
+            return mask_width(self.csr.get(self.rap, 0), width)
+        if offset == REG_RAP:
+            return mask_width(self.rap, width)
+        if offset == REG_RESET:
+            self.reset()
+            return 0
+        if offset == REG_BDP:
+            return mask_width(self.bcr.get(self.rap, 0), width)
+        return 0
+
+    def io_write(self, offset, width, value):
+        value = mask_width(value, width)
+        if offset == REG_RAP:
+            self.rap = value & 0xFFFF
+        elif offset == REG_RDP:
+            self._write_csr(self.rap, value & 0xFFFF)
+        elif offset == REG_BDP:
+            self._write_bcr(self.rap, value & 0xFFFF)
+
+    def _write_csr(self, number, value):
+        if number == 0:
+            self._write_csr0(value)
+            return
+        self.csr[number] = value
+        if number == 15:
+            self.promiscuous = bool(value & CSR15_PROM)
+        elif 8 <= number <= 11:
+            # CSR8-11: logical address filter (multicast hash), 16 bits
+            # per CSR, little endian within the 64-bit filter.
+            offset = (number - 8) * 2
+            self.multicast_hash[offset] = value & 0xFF
+            self.multicast_hash[offset + 1] = (value >> 8) & 0xFF
+
+    def _write_csr0(self, value):
+        csr0 = self.csr[0]
+        # Interrupt bits are write-1-to-clear.
+        csr0 &= ~(value & (CSR0_IDON | CSR0_TINT | CSR0_RINT))
+        # IENA is a plain read/write control bit.
+        csr0 = (csr0 & ~CSR0_IENA) | (value & CSR0_IENA)
+        self.csr[0] = csr0
+        if value & CSR0_STOP:
+            self.csr[0] |= CSR0_STOP
+            self.csr[0] &= ~(CSR0_STRT | CSR0_INIT)
+            self.rx_enabled = False
+            self.tx_enabled = False
+            return
+        if value & CSR0_INIT:
+            self._load_init_block()
+            self.csr[0] |= CSR0_INIT | CSR0_IDON
+            self.csr[0] &= ~CSR0_STOP
+        if value & CSR0_STRT:
+            self.csr[0] |= CSR0_STRT
+            self.csr[0] &= ~CSR0_STOP
+            self.rx_enabled = True
+            self.tx_enabled = True
+        if value & CSR0_TDMD:
+            self._poll_tx_ring()
+        self._update_irq()
+
+    def _write_bcr(self, number, value):
+        self.bcr[number] = value
+        if number == 4:
+            self.led_state = value & 0xF
+        elif number == 7:
+            self.wol_enabled = bool(value & BCR7_MAGIC)
+        elif number == 9:
+            self.full_duplex = bool(value & BCR9_FDEN)
+
+    # ------------------------------------------------------------------
+    # Init block / descriptor rings (DMA)
+
+    def _init_block_address(self):
+        return (self.csr[2] << 16) | self.csr[1]
+
+    def _load_init_block(self):
+        if self.bus is None:
+            return
+        raw = self.bus.dma_read(self._init_block_address(), INIT_BLOCK_SIZE)
+        (mode, rlen, tlen, _pad) = struct.unpack_from("<HHHH", raw, 0)
+        padr = raw[8:14]
+        ladrf = raw[16:24]
+        (rdra, tdra) = struct.unpack_from("<II", raw, 24)
+        self.csr[15] = mode
+        self.promiscuous = bool(mode & CSR15_PROM)
+        self.mac[:] = padr
+        self.multicast_hash[:] = ladrf
+        self.rdra, self.tdra = rdra, tdra
+        self.rlen, self.tlen = rlen, tlen
+        self.rx_index = 0
+        self.tx_index = 0
+
+    def _read_desc(self, base, index):
+        raw = self.bus.dma_read(base + index * DESC_SIZE, DESC_SIZE)
+        return list(struct.unpack("<IIII", raw))
+
+    def _write_desc(self, base, index, fields):
+        self.bus.dma_write(base + index * DESC_SIZE,
+                           struct.pack("<IIII", *fields))
+
+    def _poll_tx_ring(self):
+        if not self.tx_enabled or self.bus is None or self.tlen == 0:
+            return
+        sent = 0
+        for _ in range(self.tlen):
+            desc = self._read_desc(self.tdra, self.tx_index)
+            buf, length, status, _msg = desc
+            if not status & DESC_OWN:
+                break
+            frame = self.bus.dma_read(buf, length & 0xFFFF)
+            self.transmit(frame)
+            desc[2] = status & ~DESC_OWN
+            self._write_desc(self.tdra, self.tx_index, desc)
+            self.tx_index = (self.tx_index + 1) % self.tlen
+            sent += 1
+        if sent:
+            self.csr[0] |= CSR0_TINT
+            self._update_irq()
+
+    def receive_frame(self, frame_bytes):
+        if not self.accepts(frame_bytes):
+            self.stats["rx_dropped"] += 1
+            return
+        if self.bus is None or self.rlen == 0:
+            self.stats["rx_dropped"] += 1
+            return
+        desc = self._read_desc(self.rdra, self.rx_index)
+        buf, length, status, _msg = desc
+        if not status & DESC_OWN:
+            self.stats["rx_dropped"] += 1
+            return
+        frame = frame_bytes[:length & 0xFFFF]
+        self.bus.dma_write(buf, frame)
+        desc[2] = status & ~DESC_OWN
+        desc[3] = len(frame)
+        self._write_desc(self.rdra, self.rx_index, desc)
+        self.rx_index = (self.rx_index + 1) % self.rlen
+        self.stats["rx_frames"] += 1
+        self.stats["rx_bytes"] += len(frame)
+        self.csr[0] |= CSR0_RINT
+        self._update_irq()

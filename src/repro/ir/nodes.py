@@ -1,0 +1,215 @@
+"""IR node definitions.
+
+Ops form three groups:
+
+* computation: ``IrConst``, ``IrGetReg``, ``IrSetReg``, ``IrBin``, ``IrNot``,
+  ``IrNeg``, ``IrCmp`` -- all over an unbounded set of per-block temporaries;
+* effects: ``IrLoad``/``IrStore`` (memory), ``IrIn``/``IrOut`` (port I/O);
+* terminators: ``IrJump``, ``IrCondJump``, ``IrCall``, ``IrRet``, ``IrHalt``.
+
+Jump/call targets are either an ``int`` (direct, a guest virtual address) or
+a temp index (indirect).  A :class:`TranslationBlock` is a maximal run of
+guest instructions ending at the first control-flow change -- exactly the
+paper's footnote-1 definition, so a translation block may span multiple
+basic blocks when a later branch lands in its middle.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BinKind(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SAR = "sar"
+    MUL = "mul"
+    DIVU = "divu"
+    REMU = "remu"
+
+
+class CmpKind(enum.Enum):
+    EQ = "eq"
+    NE = "ne"
+    SLT = "slt"
+    SGE = "sge"
+    ULT = "ult"
+    UGE = "uge"
+
+
+@dataclass(frozen=True)
+class IrConst:
+    dst: int
+    value: int
+
+
+@dataclass(frozen=True)
+class IrGetReg:
+    dst: int
+    reg: int
+
+
+@dataclass(frozen=True)
+class IrSetReg:
+    reg: int
+    src: int
+
+
+@dataclass(frozen=True)
+class IrBin:
+    dst: int
+    kind: BinKind
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class IrNot:
+    dst: int
+    a: int
+
+
+@dataclass(frozen=True)
+class IrNeg:
+    dst: int
+    a: int
+
+
+@dataclass(frozen=True)
+class IrCmp:
+    dst: int
+    kind: CmpKind
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class IrLoad:
+    dst: int
+    addr: int      # temp holding the address
+    width: int
+
+
+@dataclass(frozen=True)
+class IrStore:
+    addr: int
+    src: int
+    width: int
+
+
+@dataclass(frozen=True)
+class IrIn:
+    dst: int
+    port: int      # temp holding the port number
+    width: int
+
+
+@dataclass(frozen=True)
+class IrOut:
+    port: int
+    src: int
+    width: int
+
+
+@dataclass(frozen=True)
+class IrJump:
+    """Direct (``target`` is int) or indirect (``target`` is temp) jump."""
+
+    target: object
+    indirect: bool = False
+
+
+@dataclass(frozen=True)
+class IrCondJump:
+    cond: int
+    target: int        # taken-branch guest address
+    fallthrough: int   # next guest address
+
+
+@dataclass(frozen=True)
+class IrCall:
+    """Function call; the return-address push is emitted as explicit
+    sp-adjust + store ops *before* this terminator."""
+
+    target: object
+    indirect: bool
+    return_pc: int
+
+
+@dataclass(frozen=True)
+class IrRet:
+    """Function return; the return-address load and stack cleanup are
+    explicit ops before this terminator.  ``addr`` is the temp holding the
+    return address, ``cleanup`` the stdcall argument-byte count."""
+
+    addr: int
+    cleanup: int
+
+
+@dataclass(frozen=True)
+class IrHalt:
+    pass
+
+
+TERMINATOR_TYPES = (IrJump, IrCondJump, IrCall, IrRet, IrHalt)
+
+
+@dataclass
+class TranslationBlock:
+    """A translated run of guest instructions ending at a terminator."""
+
+    pc: int
+    size: int                      # guest bytes covered
+    instr_addrs: list              # guest address of every instruction
+    ops: list = field(default_factory=list)
+    #: per-instruction (start, end) index ranges into ``ops`` -- used by the
+    #: synthesizer to split translation blocks into basic blocks
+    instr_spans: list = field(default_factory=list)
+
+    @property
+    def terminator(self):
+        return self.ops[-1] if self.ops else None
+
+    @property
+    def end_pc(self):
+        return self.pc + self.size
+
+    def contains(self, address):
+        """True when ``address`` is one of the block's instructions."""
+        return address in self.instr_addrs
+
+    def static_successors(self):
+        """Guest addresses statically known to follow this block."""
+        term = self.terminator
+        if isinstance(term, IrCondJump):
+            return [term.target, term.fallthrough]
+        if isinstance(term, IrJump) and not term.indirect:
+            return [term.target]
+        if isinstance(term, IrCall) and not term.indirect:
+            return [term.target]
+        return []
+
+    def split_at(self, address):
+        """Split this block at instruction ``address``; returns the head
+        piece (``[pc, address)``), which falls through to ``address``.
+
+        Used during CFG reconstruction when a branch target lands in the
+        middle of a translation block (paper footnote 1 / section 4.1:
+        "RevNIC splits translation blocks into basic blocks").
+        """
+        if address not in self.instr_addrs or address == self.pc:
+            raise ValueError("0x%x is not an interior instruction" % address)
+        index = self.instr_addrs.index(address)
+        op_cut = self.instr_spans[index][0] if self.instr_spans else None
+        head = TranslationBlock(
+            pc=self.pc,
+            size=address - self.pc,
+            instr_addrs=self.instr_addrs[:index],
+            ops=self.ops[:op_cut] if op_cut is not None else [],
+            instr_spans=self.instr_spans[:index],
+        )
+        return head

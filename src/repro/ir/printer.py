@@ -1,0 +1,54 @@
+"""Textual rendering of IR (debugging aid and golden-test format)."""
+
+from repro.ir import nodes as N
+
+
+def _target(value, indirect):
+    return "%%t%d" % value if indirect else "0x%x" % value
+
+
+def format_op(op):
+    """Render one IR op as text."""
+    if isinstance(op, N.IrConst):
+        return "%%t%d = const 0x%x" % (op.dst, op.value)
+    if isinstance(op, N.IrGetReg):
+        return "%%t%d = getreg r%d" % (op.dst, op.reg)
+    if isinstance(op, N.IrSetReg):
+        return "setreg r%d, %%t%d" % (op.reg, op.src)
+    if isinstance(op, N.IrBin):
+        return "%%t%d = %s %%t%d, %%t%d" % (op.dst, op.kind.value, op.a, op.b)
+    if isinstance(op, N.IrNot):
+        return "%%t%d = not %%t%d" % (op.dst, op.a)
+    if isinstance(op, N.IrNeg):
+        return "%%t%d = neg %%t%d" % (op.dst, op.a)
+    if isinstance(op, N.IrCmp):
+        return "%%t%d = icmp.%s %%t%d, %%t%d" % (op.dst, op.kind.value,
+                                                 op.a, op.b)
+    if isinstance(op, N.IrLoad):
+        return "%%t%d = load%d [%%t%d]" % (op.dst, op.width * 8, op.addr)
+    if isinstance(op, N.IrStore):
+        return "store%d [%%t%d], %%t%d" % (op.width * 8, op.addr, op.src)
+    if isinstance(op, N.IrIn):
+        return "%%t%d = in%d (%%t%d)" % (op.dst, op.width * 8, op.port)
+    if isinstance(op, N.IrOut):
+        return "out%d (%%t%d), %%t%d" % (op.width * 8, op.port, op.src)
+    if isinstance(op, N.IrJump):
+        return "jump %s" % _target(op.target, op.indirect)
+    if isinstance(op, N.IrCondJump):
+        return "condjump %%t%d, 0x%x, 0x%x" % (op.cond, op.target,
+                                               op.fallthrough)
+    if isinstance(op, N.IrCall):
+        return "call %s (ret 0x%x)" % (_target(op.target, op.indirect),
+                                       op.return_pc)
+    if isinstance(op, N.IrRet):
+        return "ret %%t%d (+%d)" % (op.addr, op.cleanup)
+    if isinstance(op, N.IrHalt):
+        return "halt"
+    raise TypeError("unknown IR op %r" % (op,))
+
+
+def format_block(block):
+    """Render a whole translation block."""
+    lines = ["tb @0x%08x (%d instrs):" % (block.pc, len(block.instr_addrs))]
+    lines.extend("  " + format_op(op) for op in block.ops)
+    return "\n".join(lines)

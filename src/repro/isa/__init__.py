@@ -1,0 +1,64 @@
+"""The R32 instruction set architecture.
+
+R32 is the reproduction's stand-in for x86: a 32-bit, little-endian machine
+with sixteen general-purpose registers, a fixed 8-byte instruction encoding,
+compare-and-branch control flow, separate port-I/O instructions, and a
+stack-based (stdcall-like) calling convention in which ``CALL`` pushes the
+return address and ``RET n`` pops it and releases ``n`` bytes of arguments.
+
+The binary drivers that RevNIC reverse engineers are assembled to R32 machine
+code; the dynamic binary translator decodes R32 into the IR that is traced,
+symbolically executed and finally synthesized back to C.
+"""
+
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_AT,
+    REG_FP,
+    REG_NAMES,
+    REG_RV,
+    REG_SP,
+    reg_name,
+    reg_number,
+)
+from repro.isa.opcodes import (
+    ALU_OPS,
+    BRANCH_OPS,
+    IN_OPS,
+    LOAD_OPS,
+    OUT_OPS,
+    STORE_OPS,
+    Op,
+)
+from repro.isa.encoding import (
+    INSTR_SIZE,
+    NO_REG,
+    Instruction,
+    decode,
+    decode_stream,
+    encode,
+)
+
+__all__ = [
+    "NUM_REGS",
+    "REG_AT",
+    "REG_FP",
+    "REG_NAMES",
+    "REG_RV",
+    "REG_SP",
+    "reg_name",
+    "reg_number",
+    "ALU_OPS",
+    "BRANCH_OPS",
+    "IN_OPS",
+    "LOAD_OPS",
+    "OUT_OPS",
+    "STORE_OPS",
+    "Op",
+    "INSTR_SIZE",
+    "NO_REG",
+    "Instruction",
+    "decode",
+    "decode_stream",
+    "encode",
+]

@@ -1,0 +1,149 @@
+"""Fixed 8-byte instruction encoding for R32.
+
+Layout (little endian)::
+
+    byte 0   opcode
+    byte 1   field a   (destination register, or base register for stores)
+    byte 2   field b   (source register 1, or NO_REG when unused)
+    byte 3   field c   (source register 2, or NO_REG meaning "use imm")
+    bytes 4-7  imm     (32-bit immediate / displacement / branch target)
+
+ALU instructions take ``rd = b op (c or imm)``: when field ``c`` is
+:data:`NO_REG` the second operand is the immediate.  Branches are strictly
+reg-reg (``a`` vs ``b``) with the absolute target in ``imm``; the assembler
+materializes immediates into the ``at`` register for immediate comparisons.
+"""
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+from repro.isa.opcodes import ALU_OPS, BRANCH_OPS, Op
+from repro.isa.registers import NUM_REGS, reg_name
+
+INSTR_SIZE = 8
+
+#: Register-field sentinel: "no register here" / "second operand is imm".
+NO_REG = 0xFF
+
+_STRUCT = struct.Struct("<BBBBI")
+
+_VALID_OPS = {int(op) for op in Op}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded R32 instruction."""
+
+    op: Op
+    a: int = NO_REG
+    b: int = NO_REG
+    c: int = NO_REG
+    imm: int = 0
+
+    def uses_imm_operand(self):
+        """True when an ALU op's second source operand is the immediate."""
+        return self.op in ALU_OPS and self.c == NO_REG
+
+    def text(self):
+        """Render a human-readable disassembly of this instruction."""
+        op = self.op
+        name = op.name.lower()
+        r = reg_name
+        if op == Op.NOP or op == Op.HALT:
+            return name
+        if op == Op.MOV:
+            return "%s %s, %s" % (name, r(self.a), r(self.b))
+        if op == Op.MOVI:
+            return "%s %s, 0x%x" % (name, r(self.a), self.imm)
+        if op in (Op.LD8, Op.LD16, Op.LD32):
+            return "%s %s, [%s%+d]" % (name, r(self.a), r(self.b), _sdisp(self.imm))
+        if op in (Op.ST8, Op.ST16, Op.ST32):
+            return "%s [%s%+d], %s" % (name, r(self.a), _sdisp(self.imm), r(self.b))
+        if op == Op.PUSH:
+            return "%s %s" % (name, r(self.a))
+        if op == Op.POP:
+            return "%s %s" % (name, r(self.a))
+        if op in (Op.NOT, Op.NEG):
+            return "%s %s, %s" % (name, r(self.a), r(self.b))
+        if op in ALU_OPS:
+            if self.c == NO_REG:
+                return "%s %s, %s, 0x%x" % (name, r(self.a), r(self.b), self.imm)
+            return "%s %s, %s, %s" % (name, r(self.a), r(self.b), r(self.c))
+        if op in BRANCH_OPS:
+            return "%s %s, %s, 0x%x" % (name, r(self.a), r(self.b), self.imm)
+        if op == Op.JMP or op == Op.CALL:
+            return "%s 0x%x" % (name, self.imm)
+        if op == Op.JMPR or op == Op.CALLR:
+            return "%s %s" % (name, r(self.a))
+        if op == Op.RET:
+            return "%s %d" % (name, self.imm)
+        if op in (Op.IN8, Op.IN16, Op.IN32):
+            return "%s %s, (%s%+d)" % (name, r(self.a), r(self.b), _sdisp(self.imm))
+        if op in (Op.OUT8, Op.OUT16, Op.OUT32):
+            return "%s (%s%+d), %s" % (name, r(self.a), _sdisp(self.imm), r(self.b))
+        return "%s a=%d b=%d c=%d imm=0x%x" % (name, self.a, self.b, self.c, self.imm)
+
+
+def _sdisp(imm):
+    """Interpret a 32-bit immediate as a signed displacement for display."""
+    return imm - (1 << 32) if imm >= (1 << 31) else imm
+
+
+def encode(instr):
+    """Encode an :class:`Instruction` to its 8-byte machine form."""
+    return _STRUCT.pack(
+        int(instr.op), instr.a & 0xFF, instr.b & 0xFF, instr.c & 0xFF,
+        instr.imm & 0xFFFFFFFF,
+    )
+
+
+def decode(data, offset=0):
+    """Decode one instruction from ``data`` at ``offset``.
+
+    Raises :class:`~repro.errors.DecodeError` on truncated input or an
+    unknown opcode -- the same condition that makes static disassembly of
+    stripped binaries unreliable (paper section 2).
+    """
+    if len(data) - offset < INSTR_SIZE:
+        raise DecodeError("truncated instruction at offset %d" % offset)
+    opcode, a, b, c, imm = _STRUCT.unpack_from(data, offset)
+    if opcode not in _VALID_OPS:
+        raise DecodeError("invalid opcode 0x%02x at offset %d" % (opcode, offset))
+    instr = Instruction(Op(opcode), a, b, c, imm)
+    _validate_registers(instr, offset)
+    return instr
+
+
+def _validate_registers(instr, offset):
+    op = instr.op
+    fields = []
+    if op in (Op.MOV,):
+        fields = [instr.a, instr.b]
+    elif op in (Op.MOVI, Op.PUSH, Op.POP, Op.JMPR, Op.CALLR):
+        fields = [instr.a]
+    elif op in (Op.LD8, Op.LD16, Op.LD32, Op.ST8, Op.ST16, Op.ST32,
+                Op.IN8, Op.IN16, Op.IN32, Op.OUT8, Op.OUT16, Op.OUT32,
+                Op.NOT, Op.NEG):
+        fields = [instr.a, instr.b]
+    elif op in ALU_OPS:
+        fields = [instr.a, instr.b]
+        if instr.c != NO_REG:
+            fields.append(instr.c)
+    elif op in BRANCH_OPS:
+        fields = [instr.a, instr.b]
+    for f in fields:
+        if not 0 <= f < NUM_REGS:
+            raise DecodeError(
+                "register field out of range (%d) in %s at offset %d"
+                % (f, op.name, offset))
+
+
+def decode_stream(data, base=0):
+    """Decode a whole code segment, yielding ``(address, Instruction)``.
+
+    ``base`` is the virtual address of ``data[0]``; addresses in the yielded
+    pairs are virtual.
+    """
+    for offset in range(0, len(data) - len(data) % INSTR_SIZE, INSTR_SIZE):
+        yield base + offset, decode(data, offset)

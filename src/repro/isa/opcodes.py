@@ -1,0 +1,83 @@
+"""Opcode enumeration for the R32 ISA."""
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """R32 opcodes.
+
+    The numeric values are the first byte of the 8-byte encoding and are part
+    of the binary format -- do not renumber.
+    """
+
+    NOP = 0x00
+    MOV = 0x01       # rd = rs
+    MOVI = 0x02      # rd = imm
+    LD8 = 0x03       # rd = zx(mem8[rs + imm])
+    LD16 = 0x04      # rd = zx(mem16[rs + imm])
+    LD32 = 0x05      # rd = mem32[rs + imm]
+    ST8 = 0x06       # mem8[ra + imm] = rv
+    ST16 = 0x07      # mem16[ra + imm] = rv
+    ST32 = 0x08      # mem32[ra + imm] = rv
+    PUSH = 0x09      # sp -= 4; mem32[sp] = rs
+    POP = 0x0A       # rd = mem32[sp]; sp += 4
+
+    ADD = 0x10       # rd = rs1 + src2
+    SUB = 0x11
+    AND = 0x12
+    OR = 0x13
+    XOR = 0x14
+    SHL = 0x15
+    SHR = 0x16       # logical shift right
+    SAR = 0x17       # arithmetic shift right
+    MUL = 0x18
+    DIVU = 0x19      # unsigned divide (div-by-zero faults)
+    REMU = 0x1A
+    NOT = 0x1B       # rd = ~rs1
+    NEG = 0x1C       # rd = -rs1
+
+    BEQ = 0x20       # if rs1 == rs2: pc = imm
+    BNE = 0x21
+    BLT = 0x22       # signed
+    BGE = 0x23       # signed
+    BLTU = 0x24
+    BGEU = 0x25
+
+    JMP = 0x28       # pc = imm
+    JMPR = 0x29      # pc = rs
+    CALL = 0x2A      # push return; pc = imm
+    CALLR = 0x2B     # push return; pc = rs
+    RET = 0x2C       # pop return; sp += imm
+
+    IN8 = 0x30       # rd = port8[rs + imm]
+    IN16 = 0x31
+    IN32 = 0x32
+    OUT8 = 0x33      # port8[ra + imm] = rv
+    OUT16 = 0x34
+    OUT32 = 0x35
+
+    HALT = 0x3F
+
+
+LOAD_OPS = frozenset({Op.LD8, Op.LD16, Op.LD32})
+STORE_OPS = frozenset({Op.ST8, Op.ST16, Op.ST32})
+IN_OPS = frozenset({Op.IN8, Op.IN16, Op.IN32})
+OUT_OPS = frozenset({Op.OUT8, Op.OUT16, Op.OUT32})
+
+ALU_OPS = frozenset({
+    Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR, Op.SAR,
+    Op.MUL, Op.DIVU, Op.REMU, Op.NOT, Op.NEG,
+})
+
+BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU})
+
+#: Opcodes that end a translation block (alter control flow).
+TERMINATOR_OPS = BRANCH_OPS | {Op.JMP, Op.JMPR, Op.CALL, Op.CALLR, Op.RET, Op.HALT}
+
+#: Width in bytes accessed by each memory / port opcode.
+ACCESS_WIDTH = {
+    Op.LD8: 1, Op.LD16: 2, Op.LD32: 4,
+    Op.ST8: 1, Op.ST16: 2, Op.ST32: 4,
+    Op.IN8: 1, Op.IN16: 2, Op.IN32: 4,
+    Op.OUT8: 1, Op.OUT16: 2, Op.OUT32: 4,
+}

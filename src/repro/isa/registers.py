@@ -1,0 +1,55 @@
+"""Register file layout and naming for the R32 ISA.
+
+Sixteen general-purpose registers.  Conventions (mirroring the stdcall-style
+convention the paper relies on for parameter recovery, see paper section 4.1):
+
+* ``r0`` -- return value (the analog of ``eax``).
+* ``r1``..``r11`` -- general purpose; ``r1``-``r3`` are caller-saved scratch.
+* ``r12`` (``at``) -- assembler temporary, used to materialize immediates for
+  reg-reg-only instructions such as branches.
+* ``r13`` (``sp``) -- stack pointer.
+* ``r14`` (``fp``) -- frame pointer; binary drivers address locals and stack
+  arguments as ``fp + offset``, which is what the synthesizer's def-use
+  analysis keys on.
+* ``r15`` -- general purpose / saved values.
+
+Arguments are passed on the stack (pushed right to left); ``CALL`` pushes the
+return address, ``RET n`` pops it and removes ``n`` bytes of arguments
+(callee-clean, like Windows stdcall).
+"""
+
+from repro.errors import AsmError
+
+NUM_REGS = 16
+
+REG_RV = 0
+REG_AT = 12
+REG_SP = 13
+REG_FP = 14
+
+REG_NAMES = tuple("r%d" % i for i in range(NUM_REGS))
+
+_ALIASES = {
+    "at": REG_AT,
+    "sp": REG_SP,
+    "fp": REG_FP,
+    "rv": REG_RV,
+}
+
+_NAME_TO_NUM = {name: i for i, name in enumerate(REG_NAMES)}
+_NAME_TO_NUM.update(_ALIASES)
+
+
+def reg_name(num):
+    """Return the canonical name (``rN``) for a register number."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError("bad register number %r" % (num,))
+    return REG_NAMES[num]
+
+
+def reg_number(name):
+    """Parse a register name (``r0``..``r15`` or an alias) to its number."""
+    try:
+        return _NAME_TO_NUM[name.lower()]
+    except KeyError:
+        raise AsmError("unknown register %r" % (name,)) from None

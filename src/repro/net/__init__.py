@@ -1,0 +1,29 @@
+"""Packet and network substrate: frames, checksums, workload generators."""
+
+from repro.net.crc import crc32_ethernet
+from repro.net.ethernet import (
+    BROADCAST_MAC,
+    EtherType,
+    EthernetFrame,
+    format_mac,
+    is_multicast,
+    parse_mac,
+)
+from repro.net.packet import build_udp_packet, parse_udp_packet
+from repro.net.medium import Medium
+from repro.net.traffic import UdpWorkload, packet_size_sweep
+
+__all__ = [
+    "crc32_ethernet",
+    "BROADCAST_MAC",
+    "EtherType",
+    "EthernetFrame",
+    "format_mac",
+    "is_multicast",
+    "parse_mac",
+    "build_udp_packet",
+    "parse_udp_packet",
+    "Medium",
+    "UdpWorkload",
+    "packet_size_sweep",
+]

@@ -1,0 +1,24 @@
+"""Ethernet CRC-32 (IEEE 802.3), implemented from the polynomial.
+
+Checksum computation is one of the paper's four function types
+("OS-independent algorithms, such as checksum computation", section 4.2);
+the binary drivers use a table-free bitwise variant of this same algorithm
+so the synthesizer has a realistic pure-computation function to recover.
+"""
+
+_POLY = 0xEDB88320
+
+_TABLE = []
+for _byte in range(256):
+    _crc = _byte
+    for _ in range(8):
+        _crc = (_crc >> 1) ^ (_POLY if _crc & 1 else 0)
+    _TABLE.append(_crc)
+
+
+def crc32_ethernet(data):
+    """Compute the Ethernet FCS over ``data``; returns a 32-bit integer."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF

@@ -1,0 +1,36 @@
+"""The software network medium ("cable") NIC models attach to."""
+
+
+class Medium:
+    """Records frames transmitted by an attached NIC and injects frames
+    toward it.
+
+    The evaluation uses the medium both as the traffic sink for throughput
+    measurement and as the injection point for receive-path workloads.
+    """
+
+    def __init__(self):
+        self.transmitted = []
+        self._receiver = None
+        #: Total payload bytes transmitted (throughput accounting).
+        self.tx_bytes = 0
+
+    def attach(self, nic):
+        """Attach ``nic``; its ``receive_frame(bytes)`` gets injected frames."""
+        self._receiver = nic
+
+    def transmit(self, frame_bytes):
+        """Called by a NIC model when it puts a frame on the wire."""
+        self.transmitted.append(bytes(frame_bytes))
+        self.tx_bytes += len(frame_bytes)
+
+    def inject(self, frame_bytes):
+        """Deliver a frame from the network toward the attached NIC."""
+        if self._receiver is None:
+            raise RuntimeError("no NIC attached to medium")
+        self._receiver.receive_frame(bytes(frame_bytes))
+
+    def pop_transmitted(self):
+        """Return and clear the transmitted-frame log."""
+        frames, self.transmitted = self.transmitted, []
+        return frames

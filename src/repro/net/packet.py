@@ -1,0 +1,61 @@
+"""Minimal IPv4/UDP packet construction for the benchmark workloads.
+
+The paper's performance benchmark "sends UDP packets of increasing size, up
+to the maximum length of an Ethernet frame" (section 5.3); on KitOS it
+transmits hand-crafted raw UDP packets since KitOS has no TCP/IP stack.
+This module is that hand-crafting code, shared by the tiny TCP/IP stack in
+:mod:`repro.targetos.netstack`.
+"""
+
+import struct
+
+IP_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+
+
+def _checksum16(data):
+    if len(data) % 2:
+        data += b"\0"
+    total = sum(struct.unpack("!%dH" % (len(data) // 2), data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def build_udp_packet(src_ip, dst_ip, src_port, dst_port, payload, ident=0):
+    """Build an IPv4+UDP packet (the Ethernet payload)."""
+    udp_len = UDP_HEADER_LEN + len(payload)
+    udp = struct.pack("!HHHH", src_port, dst_port, udp_len, 0) + payload
+    total_len = IP_HEADER_LEN + udp_len
+    header = struct.pack("!BBHHHBBH4s4s", 0x45, 0, total_len, ident, 0,
+                         64, 17, 0, src_ip, dst_ip)
+    checksum = _checksum16(header)
+    header = header[:10] + struct.pack("!H", checksum) + header[12:]
+    return header + udp
+
+
+def parse_udp_packet(data):
+    """Parse an IPv4+UDP packet; returns a dict of fields.
+
+    Raises ``ValueError`` on malformed input or checksum mismatch.
+    """
+    if len(data) < IP_HEADER_LEN + UDP_HEADER_LEN:
+        raise ValueError("packet too short")
+    version_ihl = data[0]
+    if version_ihl >> 4 != 4:
+        raise ValueError("not IPv4")
+    ihl = (version_ihl & 0xF) * 4
+    if _checksum16(data[:ihl]) != 0:
+        raise ValueError("bad IP header checksum")
+    protocol = data[9]
+    if protocol != 17:
+        raise ValueError("not UDP")
+    src_ip, dst_ip = data[12:16], data[16:20]
+    src_port, dst_port, udp_len, _checksum = struct.unpack(
+        "!HHHH", data[ihl:ihl + UDP_HEADER_LEN])
+    payload = data[ihl + UDP_HEADER_LEN:ihl + udp_len]
+    return {
+        "src_ip": src_ip, "dst_ip": dst_ip,
+        "src_port": src_port, "dst_port": dst_port,
+        "payload": payload,
+    }

@@ -1,0 +1,54 @@
+"""Workload generation for the evaluation benchmarks."""
+
+from repro.net.ethernet import MAX_PAYLOAD, EthernetFrame, EtherType
+from repro.net.packet import IP_HEADER_LEN, UDP_HEADER_LEN, build_udp_packet
+
+#: UDP payload sizes swept by the paper's figures (x axis 0..1400+ bytes,
+#: "up to the maximum length of an Ethernet frame").
+DEFAULT_SIZES = (64, 128, 256, 400, 512, 700, 800, 1000, 1100, 1200, 1400,
+                 1472)
+
+
+def packet_size_sweep(max_payload=None):
+    """Return the UDP payload sizes used on the x axis of Figures 2-7."""
+    limit = MAX_PAYLOAD - IP_HEADER_LEN - UDP_HEADER_LEN
+    if max_payload is None:
+        max_payload = limit
+    return tuple(s for s in DEFAULT_SIZES if s <= min(max_payload, limit))
+
+
+class UdpWorkload:
+    """Deterministic UDP traffic generator.
+
+    Produces Ethernet frames carrying UDP packets of a fixed payload size,
+    mirroring the benchmark of paper section 5.3.
+    """
+
+    def __init__(self, src_mac, dst_mac, payload_size,
+                 src_ip=b"\x0a\x00\x00\x01", dst_ip=b"\x0a\x00\x00\x02",
+                 src_port=9000, dst_port=9001):
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.payload_size = payload_size
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self._ident = 0
+
+    def next_frame(self):
+        """Build the next frame in the stream."""
+        payload = bytes((self._ident + i) & 0xFF
+                        for i in range(self.payload_size))
+        packet = build_udp_packet(self.src_ip, self.dst_ip, self.src_port,
+                                  self.dst_port, payload, ident=self._ident)
+        self._ident = (self._ident + 1) & 0xFFFF
+        if len(packet) < 46:
+            packet += b"\0" * (46 - len(packet))
+        return EthernetFrame(dst=self.dst_mac, src=self.src_mac,
+                             ethertype=EtherType.IPV4, payload=packet)
+
+    def frames(self, count):
+        """Yield ``count`` frames."""
+        for _ in range(count):
+            yield self.next_frame()

@@ -1,0 +1,37 @@
+"""RevNIC core: the paper's primary contribution.
+
+Pulls the substrates together: loads a closed-source binary driver into the
+VM, creates the illusion of real hardware with a *shell symbolic device*,
+exercises every discovered entry point with selective symbolic execution
+under coverage-maximizing heuristics, and wiretaps all executed IR, memory
+accesses and hardware I/O into activity traces for the synthesizer.
+"""
+
+from repro.revnic.shell_device import ShellDevice
+from repro.revnic.trace import BlockRecord, ImportRecord, Trace, TraceSegment
+from repro.revnic.wiretap import Wiretap
+from repro.revnic.heuristics import (
+    BfsStrategy,
+    CoverageDrivenStrategy,
+    DfsStrategy,
+    StateScheduler,
+    make_strategy,
+)
+from repro.revnic.engine import RevNic, RevNicConfig, RevNicResult
+
+__all__ = [
+    "ShellDevice",
+    "BlockRecord",
+    "ImportRecord",
+    "Trace",
+    "TraceSegment",
+    "Wiretap",
+    "BfsStrategy",
+    "CoverageDrivenStrategy",
+    "DfsStrategy",
+    "StateScheduler",
+    "make_strategy",
+    "RevNic",
+    "RevNicConfig",
+    "RevNicResult",
+]

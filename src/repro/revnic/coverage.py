@@ -1,0 +1,68 @@
+"""Basic-block accounting for coverage measurement (Figure 8).
+
+Ground-truth basic blocks are computed by statically decoding the driver's
+text segment (possible here because R32 is fixed-width; the paper's x86
+cannot be decoded statically, which is one reason RevNIC is dynamic --
+coverage accounting is the only consumer of this static pass and it is not
+part of the reverse-engineering pipeline itself).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import INSTR_SIZE, decode
+from repro.isa.opcodes import BRANCH_OPS, Op, TERMINATOR_OPS
+
+
+def static_basic_blocks(image, text_base):
+    """Return the sorted list of basic-block leader addresses."""
+    leaders = {text_base + image.entry}
+    for export in image.exports:
+        leaders.add(text_base + export.offset)
+    text_relocs = {r.site for r in image.relocs
+                   if r.kind.name == "TEXT"}
+    for offset in range(0, len(image.text), INSTR_SIZE):
+        instr = decode(image.text, offset)
+        address = text_base + offset
+        has_text_reloc = (offset + 4) in text_relocs
+        if instr.op in BRANCH_OPS:
+            if has_text_reloc:
+                leaders.add(text_base + instr.imm)
+            leaders.add(address + INSTR_SIZE)
+        elif instr.op == Op.JMP:
+            if has_text_reloc:
+                leaders.add(text_base + instr.imm)
+        elif instr.op == Op.CALL:
+            if has_text_reloc:
+                leaders.add(text_base + instr.imm)
+            leaders.add(address + INSTR_SIZE)
+        elif instr.op == Op.MOVI and has_text_reloc:
+            leaders.add(text_base + instr.imm)
+        elif instr.op in TERMINATOR_OPS:
+            leaders.add(address + INSTR_SIZE)
+    limit = text_base + len(image.text)
+    return sorted(l for l in leaders if text_base <= l < limit)
+
+
+@dataclass
+class CoverageTracker:
+    """Tracks executed instruction addresses against static blocks."""
+
+    leaders: list
+    executed: set = field(default_factory=set)
+    #: samples of (blocks_executed, wall_seconds, coverage_fraction)
+    timeline: list = field(default_factory=list)
+
+    def mark_block(self, block):
+        self.executed.update(block.instr_addrs)
+
+    def covered_leaders(self):
+        return sum(1 for leader in self.leaders if leader in self.executed)
+
+    @property
+    def fraction(self):
+        if not self.leaders:
+            return 0.0
+        return self.covered_leaders() / len(self.leaders)
+
+    def sample(self, blocks_executed, wall_seconds):
+        self.timeline.append((blocks_executed, wall_seconds, self.fraction))

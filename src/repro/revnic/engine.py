@@ -1,0 +1,312 @@
+"""The top-level RevNIC engine.
+
+Orchestrates one reverse-engineering run: load the binary driver next to a
+shell symbolic device, execute the exercise script phase by phase under
+selective symbolic execution, and collect the wiretap trace, coverage
+timeline and statistics.  The output feeds :mod:`repro.synth`.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.dbt import Translator
+from repro.errors import SymexError
+from repro.guestos.loader import load_image
+from repro.guestos.structures import ADAPTER_CONTEXT_SIZE, NdisStatus
+from repro.isa.registers import REG_SP
+from repro.layout import HEAP_BASE, RETURN_TO_OS, STACK_TOP
+from repro.revnic.coverage import CoverageTracker, static_basic_blocks
+from repro.revnic.exerciser import default_script, make_symbolic_buffer
+from repro.revnic.heuristics import StateScheduler, make_strategy
+from repro.revnic.osbridge import SymOsBridge
+from repro.revnic.shell_device import ShellDevice
+from repro.revnic.trace import PathTrace, Trace, TraceSegment
+from repro.revnic.wiretap import Wiretap
+from repro.symex import expr as E
+from repro.symex.executor import HardwarePolicy, SymExecutor
+from repro.symex.memory import SymMemory
+from repro.symex.state import PathStatus, SymState
+from repro.symex.solver import Solver
+from repro.vm.machine import Machine
+
+
+@dataclass
+class RevNicConfig:
+    """Run parameters (the paper's command line + configuration file)."""
+
+    driver_name: str = "driver"
+    #: PCI identity of the device whose driver is reverse engineered
+    #: (vendor/product id, I/O ranges, IRQ -- from the device manager).
+    pci: object = None
+    #: exploration strategy: 'coverage' (paper default), 'dfs', 'bfs'
+    strategy: str = "coverage"
+    #: per-phase translation-block budget
+    max_blocks_per_phase: int = 6000
+    #: entry-point completion cutoff (paper: after an entry point completes
+    #: successfully a given number of times, discard all other paths)
+    completion_cutoff: int = 4
+    #: the cutoff only fires once exploration has gone this many blocks
+    #: without discovering new code (paper section 3.2: "executed
+    #: symbolically until no more new code blocks are discovered within
+    #: some predefined amount of time")
+    stale_window: int = 300
+    #: polling-loop kill threshold (local re-executions of one block)
+    loop_kill_threshold: int = 12
+    max_states: int = 256
+    #: functions to skip (paper: OS functions like log writes can be
+    #: configured away; name -> return value)
+    skip_functions: dict = field(default_factory=dict)
+    #: coverage sample interval in executed blocks
+    sample_every: int = 25
+
+
+@dataclass
+class RevNicResult:
+    """Everything a RevNIC run produced."""
+
+    trace: Trace
+    coverage: CoverageTracker
+    entry_points: dict
+    stats: dict
+    dma_regions: list
+
+    @property
+    def coverage_fraction(self):
+        return self.coverage.fraction
+
+
+class RevNic:
+    """One reverse-engineering run over one binary driver."""
+
+    def __init__(self, image, config=None, script=None):
+        self.image = image
+        self.config = config or RevNicConfig()
+        self.script = script or default_script()
+        self.machine = Machine()
+        self.loaded = load_image(self.machine, image)
+        self.shell = ShellDevice(self.config.pci) if self.config.pci \
+            else None
+        self.solver = Solver()
+        self.translator = Translator(
+            lambda addr, size: self.machine.memory.read_bytes(addr, size))
+        self.wiretap = Wiretap(self.loaded.text_base, self.loaded.text_end)
+        self.entry_points = {}
+        self.bridge = SymOsBridge(
+            self.solver, self.shell, wiretap=self.wiretap,
+            import_names=self.loaded.import_names,
+            on_entry_points=self.entry_points.update)
+        self.hardware = HardwarePolicy()
+        self.executor = SymExecutor(
+            self.translator, self.solver, hardware=self.hardware,
+            tracer=self.wiretap,
+            is_dma_address=(self.shell.is_dma_address if self.shell
+                            else None))
+        self.coverage = CoverageTracker(
+            static_basic_blocks(image, self.loaded.text_base))
+        self.wiretap.coverage = self.coverage
+        self.context_address = HEAP_BASE
+        self._blocks_total = 0
+        self._start_time = None
+        self._phase_log = []
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Execute the full exercise script; returns a RevNicResult."""
+        self._start_time = time.monotonic()
+        trace = Trace(driver_name=self.config.driver_name,
+                      text_base=self.loaded.text_base,
+                      text_size=len(self.image.text))
+        continuation = self._initial_state()
+
+        for phase in self.script:
+            segment, continuation = self._run_phase(phase, continuation)
+            if segment is not None:
+                trace.segments.append(segment)
+            if phase.interrupt_after and "isr" in self.entry_points:
+                from repro.revnic.exerciser import Phase
+                segment, continuation = self._run_phase(
+                    Phase("isr"), continuation)
+                if segment is not None:
+                    trace.segments.append(segment)
+
+        trace.entry_points = dict(self.entry_points)
+        stats = {
+            "blocks_executed": self._blocks_total,
+            "forks": self.executor.forks,
+            "solver_queries": self.solver.queries,
+            "blocks_recorded": self.wiretap.blocks_recorded,
+            "imports_recorded": self.wiretap.imports_recorded,
+            "wall_seconds": time.monotonic() - self._start_time,
+            "phases": list(self._phase_log),
+        }
+        dma = list(self.shell.dma_regions) if self.shell else []
+        return RevNicResult(trace=trace, coverage=self.coverage,
+                            entry_points=dict(self.entry_points),
+                            stats=stats, dma_regions=dma)
+
+    # ------------------------------------------------------------------
+
+    def _initial_state(self):
+        memory = SymMemory(self.machine.memory.read)
+        state = SymState(pc=0, regs=[0] * 16, memory=memory)
+        return state
+
+    def _entry_address(self, name):
+        if name == "driver_entry":
+            return self.loaded.entry_address
+        return self.entry_points.get(name)
+
+    def _prepare_root(self, phase, continuation):
+        """Build the phase's root state from the previous continuation."""
+        address = self._entry_address(phase.entry)
+        if address is None:
+            return None
+        root = continuation.fork()
+        root.parent = None          # cut the trace chain between segments
+        root.trace_chain = []
+        root.trace_records = []
+        root.status = PathStatus.RUNNING
+        root.block_counts = {}
+
+        args = []
+        if phase.entry != "driver_entry":
+            args.append(self.context_address)
+        scratch = root.os.heap_next
+        for index, spec in enumerate(phase.args):
+            kind = spec[0]
+            if kind == "const":
+                args.append(spec[1])
+            elif kind == "sym":
+                args.append(E.bv_sym("%s_%s" % (phase.entry, spec[1])))
+            elif kind == "buffer":
+                size, symbolic_bytes = spec[1], spec[2]
+                address_buf = (scratch + 63) & ~63
+                scratch = address_buf + size
+                make_symbolic_buffer(root, address_buf, size, symbolic_bytes,
+                                     "%s_buf%d" % (phase.entry, index))
+                args.append(address_buf)
+            else:
+                raise SymexError("bad arg spec %r" % (spec,))
+        root.os.heap_next = scratch
+
+        sp = STACK_TOP
+        for value in reversed(args):
+            sp -= 4
+            root.memory.write(sp, 4, value)
+        sp -= 4
+        root.memory.write(sp, 4, RETURN_TO_OS)
+        root.regs = [0] * 16
+        root.regs[REG_SP] = sp
+        root.pc = address
+        return root
+
+    def _run_phase(self, phase, continuation):
+        root = self._prepare_root(phase, continuation)
+        if root is None:
+            return None, continuation
+        segment = TraceSegment(entry_name=phase.entry,
+                               entry_address=root.pc)
+        scheduler = StateScheduler(
+            strategy=make_strategy(self.config.strategy),
+            loop_kill_threshold=self.config.loop_kill_threshold,
+            max_states=self.config.max_states)
+        scheduler.add(root)
+        terminal = []
+        completed = []
+        budget = phase.max_blocks or self.config.max_blocks_per_phase
+        blocks = 0
+        covered_before = len(self.coverage.executed)
+        blocks_at_last_discovery = 0
+
+        while blocks < budget:
+            state = scheduler.next_state()
+            if state is None:
+                break
+            successors, events = self.executor.step(state)
+            blocks += 1
+            self._blocks_total += 1
+            if self._blocks_total % self.config.sample_every == 0:
+                self.coverage.sample(self._blocks_total,
+                                     time.monotonic() - self._start_time)
+            for successor in successors:
+                scheduler.add(successor)
+                if successor.status == PathStatus.KILLED:
+                    terminal.append(successor)
+            for event in events:
+                if event.kind == "import-call":
+                    followups = self.bridge.handle(event.state, event.slot)
+                    for follow in followups:
+                        scheduler.add(follow)
+                        if follow.status == PathStatus.KILLED:
+                            terminal.append(follow)
+                    if event.state.status == PathStatus.COMPLETED:
+                        completed.append(event.state)
+                        terminal.append(event.state)
+                    elif event.state.status in (PathStatus.ERROR,
+                                                PathStatus.HALTED):
+                        terminal.append(event.state)
+                elif event.kind == "completed":
+                    completed.append(event.state)
+                    terminal.append(event.state)
+                else:
+                    terminal.append(event.state)
+            covered_now = len(self.coverage.executed)
+            if covered_now != covered_before:
+                covered_before = covered_now
+                blocks_at_last_discovery = blocks
+            successes = [s for s in completed
+                         if self._is_success(s.return_value)]
+            stale = blocks - blocks_at_last_discovery \
+                >= self.config.stale_window
+            if len(successes) >= self.config.completion_cutoff and stale:
+                for killed in scheduler.states:
+                    terminal.append(killed)
+                scheduler.kill_all()
+                break
+
+        # Collect remaining queued states as killed paths (their traces
+        # still contribute covered blocks).
+        for state in scheduler.states:
+            state.status = PathStatus.KILLED
+            terminal.append(state)
+        scheduler.states = []
+
+        for state in terminal:
+            records = state.path_trace()
+            if records:
+                segment.paths.append(PathTrace(
+                    path_id=state.id, records=records,
+                    status=state.status.value,
+                    return_value=state.return_value))
+
+        self.coverage.sample(self._blocks_total,
+                             time.monotonic() - self._start_time)
+        self._phase_log.append({
+            "entry": phase.entry, "blocks": blocks,
+            "paths": len(segment.paths),
+            "completed": len(completed),
+            "coverage": self.coverage.fraction,
+        })
+        next_continuation = self._pick_continuation(completed, terminal,
+                                                    continuation)
+        return segment, next_continuation
+
+    @staticmethod
+    def _is_success(return_value):
+        if return_value is None:
+            return False
+        if not isinstance(return_value, int):
+            return False
+        return return_value == NdisStatus.SUCCESS
+
+    def _pick_continuation(self, completed, terminal, previous):
+        """Choose the state exploration continues from: a successful
+        completion if any (paper: "discards all paths except one successful
+        one"), else any completion, else the previous continuation."""
+        for state in completed:
+            if self._is_success(state.return_value):
+                return state
+        if completed:
+            return completed[0]
+        return previous

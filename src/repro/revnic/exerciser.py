@@ -1,0 +1,88 @@
+"""The exercise script: which entry points to drive, with which mix of
+concrete and symbolic arguments.
+
+Mirrors the paper's user-mode script (section 3.2): "first loads the driver
+so as to exercise its initialization routine, then invokes various standard
+IOCTLs, performs a send, exercises the reception, and ends with a driver
+unload. Interrupt handlers are triggered by the VM."  Parameter
+symbolicness follows :data:`ENTRY_POINT_SIGNATURES`: user buffers and
+integer parameters become symbolic, pointers stay concrete.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.symex import expr as E
+
+
+@dataclass
+class Phase:
+    """One entry-point invocation in the exercise script."""
+
+    entry: str                     # entry-point name ('driver_entry' first)
+    #: argument specs after the implicit adapter-context argument: each is
+    #: ('const', value) | ('sym', label) | ('buffer', size, symbolic_bytes)
+    args: list = field(default_factory=list)
+    #: inject an interrupt (explore the ISR) after this phase completes
+    interrupt_after: bool = False
+    #: exploration budget override (None = engine default)
+    max_blocks: int = None
+
+    def describe(self):
+        return "%s(%s)%s" % (self.entry,
+                             ", ".join(a[0] for a in self.args),
+                             " +irq" if self.interrupt_after else "")
+
+
+def default_script():
+    """The standard NIC exercise script.
+
+    Symbolic OIDs make the set/query dispatch tables fully explored (the
+    paper's symbolic-IOCTL-number case); symbolic packet bytes and length
+    exercise all send paths; the ISR phases run with symbolic hardware, so
+    every interrupt cause is explored.
+    """
+    return [
+        Phase("driver_entry"),
+        Phase("initialize", interrupt_after=True),
+        Phase("query_information",
+              args=[("sym", "q_oid"), ("buffer", 64, 0), ("sym", "q_len")]),
+        Phase("set_information",
+              args=[("sym", "s_oid"), ("buffer", 64, 32), ("sym", "s_len")]),
+        # Second pass with a fully concrete buffer: data-dependent loops
+        # (e.g. the multicast CRC hash) run to completion instead of
+        # exploding over symbolic bytes -- the paper's "mix concrete and
+        # symbolic data within the same buffer" speed-up (section 3.2).
+        Phase("set_information",
+              args=[("sym", "s2_oid"), ("buffer", 64, 0),
+                    ("sym", "s2_len")]),
+        Phase("send",
+              args=[("buffer", 1536, 48), ("sym", "tx_len")],
+              interrupt_after=True),
+        Phase("isr"),                       # receive path: symbolic status
+        Phase("timer"),
+        Phase("reset", interrupt_after=True),
+        Phase("halt"),
+    ]
+
+
+def quick_script():
+    """A reduced script for fast smoke runs and unit tests."""
+    return [
+        Phase("driver_entry"),
+        Phase("initialize", interrupt_after=True),
+        Phase("send", args=[("buffer", 256, 16), ("sym", "tx_len")],
+              interrupt_after=True),
+        Phase("halt"),
+    ]
+
+
+def make_symbolic_buffer(state, address, size, symbolic_bytes, label):
+    """Fill ``size`` bytes at ``address``: the first ``symbolic_bytes`` are
+    fresh symbols, the rest concrete filler (the paper cites mixing concrete
+    and symbolic data within one buffer to speed up exploration)."""
+    for i in range(size):
+        if i < symbolic_bytes:
+            state.memory.write_byte(address + i,
+                                    E.bv_sym("%s_%d" % (label, i), 8))
+        else:
+            state.memory.write_byte(address + i, (i * 7 + 3) & 0xFF)

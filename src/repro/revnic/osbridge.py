@@ -1,0 +1,168 @@
+"""The symbolic/concrete OS boundary.
+
+When symbolically-executed driver code calls an OS API (a ``CALL`` into the
+import-thunk window), execution crosses into the concrete domain: argument
+values are concretized (adding the equality constraints to the path), the
+API's effect is applied to the *state* (not the shared machine), and
+execution resumes at the return address -- the mechanism of paper section
+3.4 ("RevNIC automatically concretizes the symbolic values whenever they
+are read by the OS").
+"""
+
+from repro.guestos.structures import MINIPORT_FIELDS, NdisStatus
+from repro.isa.registers import REG_SP
+from repro.layout import RETURN_TO_OS
+from repro.symex import expr as E
+from repro.symex.state import PathStatus
+
+
+class SymOsBridge:
+    """Applies OS API semantics to symbolic states."""
+
+    def __init__(self, solver, shell, wiretap=None, import_names=None,
+                 on_entry_points=None, registry=None):
+        self.solver = solver
+        self.shell = shell
+        self.wiretap = wiretap
+        self.import_names = import_names or {}
+        #: callback(name -> address dict) invoked on registration calls
+        self.on_entry_points = on_entry_points
+        self.registry = registry or {}
+        self.calls_handled = 0
+        self._dispatch = {
+            "NdisMRegisterMiniport": (self._register_miniport, 1),
+            "NdisMSetAttributes": (self._success, 1),
+            "NdisAllocateMemory": (self._allocate, 1),
+            "NdisFreeMemory": (self._success, 2),
+            "NdisMAllocateSharedMemory": (self._allocate_shared, 2),
+            "NdisMFreeSharedMemory": (self._success, 2),
+            "NdisMRegisterIoPortRange": (self._io_port_range, 1),
+            "NdisMMapIoSpace": (self._map_io_space, 2),
+            "NdisMRegisterInterrupt": (self._success, 1),
+            "NdisInitializeTimer": (self._initialize_timer, 2),
+            "NdisSetTimer": (self._success, 2),
+            "NdisMCancelTimer": (self._success, 1),
+            "NdisWriteErrorLogEntry": (self._error_log, 1),
+            "NdisStallExecution": (self._success, 1),
+            "NdisMIndicateReceivePacket": (self._indicate, 2),
+            "NdisMSendComplete": (self._send_complete, 1),
+            "NdisReadConfiguration": (self._read_configuration, 1),
+            "NdisGetPhysicalAddress": (self._identity, 1),
+        }
+
+    # ------------------------------------------------------------------
+
+    def handle(self, state, slot):
+        """Process an import call on ``state``.
+
+        Returns the list of states to requeue (``[state]`` when the path
+        continues, ``[]`` when it completed or died).
+        """
+        name = self.import_names.get(slot)
+        if name is None or name not in self._dispatch:
+            state.status = PathStatus.ERROR
+            return []
+        handler, nargs = self._dispatch[name]
+        self.calls_handled += 1
+
+        sp = self._concrete(state, state.regs[REG_SP])
+        if sp is None:
+            return []
+        args = []
+        for i in range(nargs):
+            raw = state.memory.read(sp + 4 + 4 * i, 4)
+            value = self._concrete(state, raw)
+            if value is None:
+                return []
+            args.append(value)
+
+        if self.wiretap is not None:
+            self.wiretap.on_import(state, name, tuple(args), state.pc)
+
+        result = handler(state, *args)
+        state.regs[0] = result & 0xFFFFFFFF
+
+        return_addr = self._concrete(state, state.memory.read(sp, 4))
+        if return_addr is None:
+            return []
+        state.regs[REG_SP] = sp + 4 + 4 * nargs
+        if return_addr == RETURN_TO_OS:
+            state.status = PathStatus.COMPLETED
+            state.return_value = state.regs[0]
+            return []
+        state.pc = return_addr
+        return [state]
+
+    def _concrete(self, state, value):
+        """Concretize ``value`` at the OS boundary, constraining the path."""
+        if isinstance(value, int):
+            return value
+        concrete, model = self.solver.concretize(value, state.constraints,
+                                                 prefer=state.model_hint)
+        if concrete is None:
+            state.status = PathStatus.ERROR
+            return None
+        state.add_constraint(E.bv_cmp("eq", value, concrete))
+        state.model_hint.update(model)
+        return concrete
+
+    # ------------------------------------------------------------------
+    # API semantics (applied to the state, not the shared machine)
+
+    def _success(self, state, *args):
+        return NdisStatus.SUCCESS
+
+    def _identity(self, state, value):
+        return value
+
+    def _register_miniport(self, state, characteristics_ptr):
+        entries = {}
+        for name, offset in MINIPORT_FIELDS.items():
+            pointer = state.memory.read(characteristics_ptr + offset, 4)
+            pointer = self._concrete(state, pointer)
+            if pointer:
+                entries[name] = pointer
+        if self.on_entry_points is not None:
+            self.on_entry_points(entries)
+        return NdisStatus.SUCCESS
+
+    def _allocate(self, state, size):
+        address = (state.os.heap_next + 15) & ~15
+        state.os.heap_next = address + max(size, 4)
+        return address
+
+    def _allocate_shared(self, state, size, physical_out):
+        address = (state.os.heap_next + 63) & ~63
+        state.os.heap_next = address + max(size, 4)
+        state.memory.write(physical_out, 4, address)
+        state.os.dma_regions.append((address, size))
+        if self.shell is not None:
+            self.shell.register_dma_region(address, size)
+        return address
+
+    def _io_port_range(self, state, size):
+        return self.shell.PCI.io_base if self.shell is not None else 0
+
+    def _map_io_space(self, state, physical, size):
+        return self.shell.PCI.mmio_base if self.shell is not None else 0
+
+    def _initialize_timer(self, state, timer_struct, handler):
+        state.os.timers[timer_struct] = handler
+        if self.on_entry_points is not None:
+            self.on_entry_points({"timer": handler})
+        return NdisStatus.SUCCESS
+
+    def _error_log(self, state, code):
+        state.os.error_logs += 1
+        return NdisStatus.SUCCESS
+
+    def _indicate(self, state, buffer, length):
+        state.os.indicated += 1
+        return NdisStatus.SUCCESS
+
+    def _send_complete(self, state, status):
+        state.os.send_completions += 1
+        return NdisStatus.SUCCESS
+
+    def _read_configuration(self, state, key):
+        return self.registry.get(key, 0)

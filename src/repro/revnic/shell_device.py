@@ -1,0 +1,58 @@
+"""The shell symbolic device (paper section 3.4).
+
+"RevNIC uses a 'shell' virtual device in the hypervisor to create the
+illusion that the actual device is present ... The shell device consists of
+a PCI configuration space descriptor, which contains crucial information
+for loading the corresponding driver: the vendor and product identifier of
+the device whose driver is being reverse engineered, the I/O memory ranges,
+and the interrupt line."
+
+The shell device has *no behaviour*: every read from its registers (or from
+DMA-registered memory) is answered with a fresh symbolic value by the
+:class:`~repro.symex.executor.HardwarePolicy`; writes are recorded and
+discarded.  The developer obtains the PCI parameters from the device
+manager and passes them to RevNIC -- here, via a :class:`PciDescriptor`.
+"""
+
+from repro.hw.base import PciDescriptor
+
+
+class ShellDevice:
+    """A register-less stand-in carrying only PCI identity.
+
+    It exists so the guest-OS plumbing (I/O-port range registration, MMIO
+    mapping, interrupt line queries) can answer the driver exactly as it
+    would with real hardware present.
+    """
+
+    def __init__(self, pci):
+        if not isinstance(pci, PciDescriptor):
+            raise TypeError("shell device needs a PciDescriptor")
+        self.PCI = pci
+        #: DMA physical regions registered by the driver through the OS API
+        #: (tracked so reads from them can be made symbolic).
+        self.dma_regions = []
+
+    def register_dma_region(self, physical, size):
+        """Record a DMA region reported by the DMA-allocation API."""
+        self.dma_regions.append((physical, size))
+
+    def is_dma_address(self, address):
+        """True when ``address`` falls in any registered DMA region."""
+        return any(base <= address < base + size
+                   for base, size in self.dma_regions)
+
+    # The shell device must never be accessed concretely: RevNIC executes
+    # all driver code symbolically, so these are defensive tripwires.
+
+    def io_read(self, offset, width):  # pragma: no cover - tripwire
+        raise RuntimeError("shell device accessed concretely")
+
+    def io_write(self, offset, width, value):  # pragma: no cover
+        raise RuntimeError("shell device accessed concretely")
+
+    def mmio_read(self, offset, width):  # pragma: no cover
+        raise RuntimeError("shell device accessed concretely")
+
+    def mmio_write(self, offset, width, value):  # pragma: no cover
+        raise RuntimeError("shell device accessed concretely")

@@ -1,0 +1,329 @@
+"""Symbolic executor: runs IR translation blocks over symbolic states.
+
+One :meth:`SymExecutor.step` executes the translation block at the state's
+``pc`` and resolves the terminator, forking on symbolic branch conditions.
+Hardware reads are answered by a :class:`HardwarePolicy` (the shell device
+returns fresh symbols), and calls into the import-thunk window are *not*
+executed here -- they surface as :class:`StepEvent` so the engine can run
+the concrete OS handler at the symbolic/concrete boundary.
+"""
+
+from dataclasses import dataclass
+
+from repro.layout import RETURN_TO_OS, import_index, is_mmio
+from repro.symex import expr as E
+from repro.symex.state import PathStatus
+
+
+class HardwarePolicy:
+    """Decides what device reads return during symbolic execution.
+
+    The default is the paper's *symbolic hardware*: every read from a
+    device register (port or MMIO) or from DMA-registered memory returns a
+    fresh unconstrained symbol (section 3.4).
+    """
+
+    def __init__(self):
+        self._counter = 0
+        self.reads = []
+        self.writes = []
+
+    def fresh(self, tag, width):
+        self._counter += 1
+        name = "hw_%s_%d" % (tag, self._counter)
+        return E.bv_sym(name, width * 8)
+
+    def device_read(self, state, kind, address, width):
+        """Return the value of a device read (symbolic by default)."""
+        self.reads.append((kind, address, width))
+        return E.bv_zext(self.fresh("%s_%x" % (kind, address), width), 32)
+
+    def device_write(self, state, kind, address, width, value):
+        """Observe a device write (the shell device has no behaviour)."""
+        self.writes.append((kind, address, width, value))
+
+
+@dataclass
+class StepEvent:
+    """Non-local outcome of a step, handled by the engine."""
+
+    kind: str            # 'import-call' | 'completed' | 'halted' | 'error'
+    state: object
+    slot: int = 0        # import slot for 'import-call'
+    detail: str = ""
+
+
+@dataclass
+class MemAccess:
+    """One memory/port access observed during a block (wiretap record)."""
+
+    kind: str            # 'ram' | 'mmio' | 'port' | 'dma'
+    address: int
+    width: int
+    value: object        # int or Expr
+    is_write: bool
+
+
+class SymExecutor:
+    """Executes translation blocks symbolically."""
+
+    def __init__(self, translator, solver, hardware=None, tracer=None,
+                 is_dma_address=None):
+        self.translator = translator
+        self.solver = solver
+        self.hardware = hardware or HardwarePolicy()
+        self.tracer = tracer
+        self._extra_is_dma = is_dma_address
+        self.blocks_executed = 0
+        self.forks = 0
+
+    # ------------------------------------------------------------------
+
+    def step(self, state):
+        """Execute one block on ``state``.
+
+        Returns ``(successors, events)``: follow-on RUNNING states and any
+        boundary events (import calls, completions, errors).
+        """
+        block = self.translator.get(state.pc)
+        state.count_block(block.pc)
+        self.blocks_executed += 1
+        regs_before = list(state.regs)
+        accesses = []
+
+        temps = {}
+        term_info = None
+        for op in block.ops:
+            term_info = self._exec_op(state, op, temps, accesses)
+            if state.status != PathStatus.RUNNING:
+                break
+            if term_info is not None:
+                break
+
+        if self.tracer is not None:
+            self.tracer.on_block(state, block, regs_before, list(state.regs),
+                                 accesses, term_info)
+
+        if state.status != PathStatus.RUNNING:
+            return [], [StepEvent("error", state, detail="fault in block")]
+        if term_info is None:
+            # Block without terminator: fall through.
+            state.pc = block.end_pc
+            return [state], []
+        return self._resolve_terminator(state, term_info, temps)
+
+    # ------------------------------------------------------------------
+    # Op execution
+
+    def _exec_op(self, state, op, temps, accesses):
+        from repro.ir import nodes as N
+
+        if isinstance(op, N.IrConst):
+            temps[op.dst] = op.value
+        elif isinstance(op, N.IrGetReg):
+            temps[op.dst] = state.regs[op.reg]
+        elif isinstance(op, N.IrSetReg):
+            state.regs[op.reg] = temps[op.src]
+        elif isinstance(op, N.IrBin):
+            temps[op.dst] = self._binop(state, op, temps)
+        elif isinstance(op, N.IrNot):
+            temps[op.dst] = E.bv_not(temps[op.a])
+        elif isinstance(op, N.IrNeg):
+            temps[op.dst] = E.bv_neg(temps[op.a])
+        elif isinstance(op, N.IrCmp):
+            temps[op.dst] = E.bv_cmp(op.kind.value, temps[op.a], temps[op.b])
+        elif isinstance(op, N.IrLoad):
+            temps[op.dst] = self._load(state, temps[op.addr], op.width,
+                                       accesses)
+        elif isinstance(op, N.IrStore):
+            self._store(state, temps[op.addr], op.width, temps[op.src],
+                        accesses)
+        elif isinstance(op, N.IrIn):
+            temps[op.dst] = self._io_in(state, temps[op.port], op.width,
+                                        accesses)
+        elif isinstance(op, N.IrOut):
+            self._io_out(state, temps[op.port], op.width, temps[op.src],
+                         accesses)
+        elif isinstance(op, N.IrJump):
+            target = temps[op.target] if op.indirect else op.target
+            return ("jump", target)
+        elif isinstance(op, N.IrCondJump):
+            return ("condjump", temps[op.cond], op.target, op.fallthrough)
+        elif isinstance(op, N.IrCall):
+            target = temps[op.target] if op.indirect else op.target
+            return ("call", target, op.return_pc)
+        elif isinstance(op, N.IrRet):
+            return ("ret", temps[op.addr])
+        elif isinstance(op, N.IrHalt):
+            return ("halt",)
+        else:  # pragma: no cover
+            raise TypeError("unknown IR op %r" % (op,))
+        return None
+
+    def _binop(self, state, op, temps):
+        from repro.ir.nodes import BinKind
+
+        a, b = temps[op.a], temps[op.b]
+        if op.kind in (BinKind.DIVU, BinKind.REMU):
+            if isinstance(b, int):
+                if b == 0:
+                    state.status = PathStatus.ERROR
+                    return 0
+            else:
+                # Constrain the divisor nonzero; the divide-by-zero path is
+                # an error state RevNIC simply terminates (section 3.2).
+                constraint = E.bv_cmp("ne", b, 0)
+                state.add_constraint(constraint)
+                if not self.solver.is_feasible(state.constraints):
+                    state.status = PathStatus.ERROR
+                    return 0
+        return E.BINOP_BUILDERS[op.kind.value](a, b)
+
+    # ------------------------------------------------------------------
+    # Memory and I/O
+
+    def _concretize_address(self, state, value, what):
+        """Concretize a symbolic address/port, constraining the path to the
+        chosen value (the paper "avoids the complexity of dealing with
+        symbolic addresses by concretizing them")."""
+        if isinstance(value, int):
+            return value
+        concrete, model = self.solver.concretize(value, state.constraints,
+                                                 prefer=state.model_hint)
+        if concrete is None:
+            state.status = PathStatus.ERROR
+            return None
+        state.add_constraint(E.bv_cmp("eq", value, concrete))
+        state.model_hint.update(model)
+        return concrete
+
+    def _is_dma(self, state, address):
+        if state.os.is_dma(address):
+            return True
+        if self._extra_is_dma is not None:
+            return self._extra_is_dma(address)
+        return False
+
+    def _load(self, state, address, width, accesses):
+        address = self._concretize_address(state, address, "load")
+        if address is None:
+            return 0
+        if is_mmio(address):
+            value = self.hardware.device_read(state, "mmio", address, width)
+            accesses.append(MemAccess("mmio", address, width, value, False))
+            return value
+        if self._is_dma(state, address):
+            value = self.hardware.device_read(state, "dma", address, width)
+            accesses.append(MemAccess("dma", address, width, value, False))
+            return value
+        value = state.memory.read(address, width)
+        accesses.append(MemAccess("ram", address, width, value, False))
+        return value
+
+    def _store(self, state, address, width, value, accesses):
+        address = self._concretize_address(state, address, "store")
+        if address is None:
+            return
+        if is_mmio(address):
+            self.hardware.device_write(state, "mmio", address, width, value)
+            accesses.append(MemAccess("mmio", address, width, value, True))
+            return
+        if self._is_dma(state, address):
+            # Writes to DMA regions land in (symbolic) memory so the driver
+            # can read back descriptors it wrote.
+            state.memory.write(address, width, value)
+            accesses.append(MemAccess("dma", address, width, value, True))
+            return
+        state.memory.write(address, width, value)
+        accesses.append(MemAccess("ram", address, width, value, True))
+
+    def _io_in(self, state, port, width, accesses):
+        port = self._concretize_address(state, port, "in")
+        if port is None:
+            return 0
+        value = self.hardware.device_read(state, "port", port, width)
+        accesses.append(MemAccess("port", port, width, value, False))
+        return value
+
+    def _io_out(self, state, port, width, value, accesses):
+        port = self._concretize_address(state, port, "out")
+        if port is None:
+            return
+        self.hardware.device_write(state, "port", port, width, value)
+        accesses.append(MemAccess("port", port, width, value, True))
+
+    # ------------------------------------------------------------------
+    # Terminators
+
+    def _resolve_terminator(self, state, info, temps):
+        kind = info[0]
+        if kind == "jump":
+            target = self._concretize_address(state, info[1], "jump")
+            if target is None:
+                return [], [StepEvent("error", state)]
+            state.pc = target
+            return [state], []
+        if kind == "condjump":
+            return self._branch(state, info[1], info[2], info[3])
+        if kind == "call":
+            target = self._concretize_address(state, info[1], "call")
+            if target is None:
+                return [], [StepEvent("error", state)]
+            slot = import_index(target)
+            if slot is not None:
+                return [], [StepEvent("import-call", state, slot=slot)]
+            state.pc = target
+            return [state], []
+        if kind == "ret":
+            target = self._concretize_address(state, info[1], "ret")
+            if target is None:
+                return [], [StepEvent("error", state)]
+            if target == RETURN_TO_OS:
+                state.status = PathStatus.COMPLETED
+                state.return_value = state.regs[0]
+                return [], [StepEvent("completed", state)]
+            state.pc = target
+            return [state], []
+        if kind == "halt":
+            state.status = PathStatus.HALTED
+            return [], [StepEvent("halted", state)]
+        raise TypeError("unknown terminator %r" % (info,))  # pragma: no cover
+
+    def _branch(self, state, cond, target, fallthrough):
+        if isinstance(cond, int):
+            state.pc = target if cond else fallthrough
+            return [state], []
+        # A symbolic branch whose successor was already executed by this
+        # state is a polling-loop back edge: mark both sides as loop
+        # suspects so the scheduler's killer may cull re-iterating paths.
+        for successor in (target, fallthrough):
+            if state.block_counts.get(successor, 0) > 0:
+                state.loop_suspects.add(successor)
+        taken_constraint = cond
+        not_taken = E.bool_not(cond)
+        taken_ok = self.solver.is_feasible(state.constraints
+                                           + [taken_constraint])
+        fall_ok = self.solver.is_feasible(state.constraints + [not_taken])
+        successors = []
+        if taken_ok and fall_ok:
+            child = state.fork()
+            self.forks += 1
+            if self.tracer is not None:
+                self.tracer.on_fork(state, child)
+            child.add_constraint(taken_constraint)
+            child.pc = target
+            state.add_constraint(not_taken)
+            state.pc = fallthrough
+            successors = [state, child]
+        elif taken_ok:
+            state.add_constraint(taken_constraint)
+            state.pc = target
+            successors = [state]
+        elif fall_ok:
+            state.add_constraint(not_taken)
+            state.pc = fallthrough
+            successors = [state]
+        else:
+            state.status = PathStatus.ERROR
+            return [], [StepEvent("error", state, detail="infeasible branch")]
+        return successors, []

@@ -1,0 +1,357 @@
+"""Bitvector expression language for symbolic execution.
+
+Expressions are immutable trees over named symbols and constants.  Smart
+constructors perform aggressive local simplification (constant folding,
+identity/annihilator elimination, extract-of-concat fusion) so that the
+expressions reaching the solver stay small -- the same role KLEE's
+expression rewriting plays.
+
+Plain Python ints are used for fully concrete values throughout the engine;
+an :class:`Expr` only appears once a value actually depends on a symbol.
+"""
+
+from dataclasses import dataclass, field
+
+_MASKS = {1: 1, 8: 0xFF, 16: 0xFFFF, 32: 0xFFFFFFFF}
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class Expr:
+    """A bitvector expression of ``width`` bits.
+
+    ``kind`` is one of: ``sym``, ``add sub and or xor shl shr sar mul divu
+    remu``, ``not neg``, ``zext``, ``extract`` (args: operand; ``lo`` bit
+    offset), ``concat`` (little-endian: args[0] is least significant).
+    Comparison kinds (``eq ne slt sge ult uge``) have width 1.
+    """
+
+    kind: str
+    width: int
+    args: tuple = ()
+    name: str = ""
+    lo: int = 0
+
+    def symbols(self):
+        """The set of symbol names this expression depends on."""
+        out = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, int):
+                continue
+            if node.kind == "sym":
+                out.add(node.name)
+            else:
+                stack.extend(a for a in node.args if isinstance(a, Expr))
+        return out
+
+    def __repr__(self):
+        return "<%s:%d %s>" % (self.kind, self.width, self.name or
+                               ",".join(repr(a) for a in self.args))
+
+
+#: Alias used where an expression is known to be a 1-bit condition.
+BoolExpr = Expr
+
+
+def is_concrete(value):
+    """True when ``value`` is a plain integer (no symbolic dependence)."""
+    return isinstance(value, int)
+
+
+def bv_const(value, width=32):
+    """Concrete values are plain ints in this engine."""
+    return value & _mask(width)
+
+
+def bv_sym(name, width=32):
+    """A fresh (or named) symbolic variable."""
+    return Expr("sym", width, name=name)
+
+
+def _width_of(value):
+    return 32 if isinstance(value, int) else value.width
+
+
+def _binop(kind, a, b, width, fold):
+    if isinstance(a, int) and isinstance(b, int):
+        return fold(a, b) & _mask(width)
+    return Expr(kind, width, args=(a, b))
+
+
+def bv_add(a, b, width=32):
+    if b == 0:
+        return a if isinstance(a, int) else a
+    if a == 0 and isinstance(b, Expr):
+        return b
+    # (x + c1) + c2 -> x + (c1 + c2)
+    if isinstance(b, int) and isinstance(a, Expr) and a.kind == "add" \
+            and isinstance(a.args[1], int):
+        return bv_add(a.args[0], (a.args[1] + b) & _mask(width), width)
+    return _binop("add", a, b, width, lambda x, y: x + y)
+
+
+def bv_sub(a, b, width=32):
+    if isinstance(b, int):
+        if b == 0:
+            return a
+        return bv_add(a, (-b) & _mask(width), width)
+    if a is b:
+        return 0
+    return _binop("sub", a, b, width, lambda x, y: x - y)
+
+
+def bv_and(a, b, width=32):
+    if a == 0 or b == 0:
+        return 0
+    full = _mask(width)
+    if isinstance(b, int) and b == full:
+        return a
+    if isinstance(a, int) and a == full:
+        return b
+    # (x & c1) & c2 -> x & (c1 & c2)
+    if isinstance(b, int) and isinstance(a, Expr) and a.kind == "and" \
+            and isinstance(a.args[1], int):
+        return bv_and(a.args[0], a.args[1] & b, width)
+    return _binop("and", a, b, width, lambda x, y: x & y)
+
+
+def bv_or(a, b, width=32):
+    if a == 0:
+        return b
+    if b == 0:
+        return a
+    return _binop("or", a, b, width, lambda x, y: x | y)
+
+
+def bv_xor(a, b, width=32):
+    if a == 0:
+        return b
+    if b == 0:
+        return a
+    if isinstance(a, Expr) and a is b:
+        return 0
+    return _binop("xor", a, b, width, lambda x, y: x ^ y)
+
+
+def _shift_fold(kind):
+    return {
+        "shl": lambda x, y: x << (y & 31),
+        "shr": lambda x, y: x >> (y & 31),
+        "sar": lambda x, y: (_signed32(x) >> (y & 31)),
+    }[kind]
+
+
+def _signed32(value):
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+def bv_shift(kind, a, b, width=32):
+    if isinstance(b, int):
+        b &= 31
+        if b == 0:
+            return a
+    return _binop(kind, a, b, width, _shift_fold(kind))
+
+
+def bv_mul(a, b, width=32):
+    if a == 0 or b == 0:
+        return 0
+    if b == 1:
+        return a
+    if a == 1:
+        return b
+    return _binop("mul", a, b, width, lambda x, y: x * y)
+
+
+def bv_divu(a, b, width=32):
+    if isinstance(b, int) and b == 1:
+        return a
+    return _binop("divu", a, b, width,
+                  lambda x, y: x // y if y else 0)
+
+
+def bv_remu(a, b, width=32):
+    return _binop("remu", a, b, width,
+                  lambda x, y: x % y if y else 0)
+
+
+def bv_not(a, width=32):
+    if isinstance(a, int):
+        return (~a) & _mask(width)
+    if a.kind == "not":
+        return a.args[0]
+    return Expr("not", width, args=(a,))
+
+
+def bv_neg(a, width=32):
+    if isinstance(a, int):
+        return (-a) & _mask(width)
+    return Expr("neg", width, args=(a,))
+
+
+def bv_zext(a, width):
+    """Zero-extend ``a`` to ``width`` bits."""
+    if isinstance(a, int):
+        return a
+    if a.width == width:
+        return a
+    return Expr("zext", width, args=(a,))
+
+
+def bv_extract(a, lo_bit, width):
+    """Extract ``width`` bits starting at bit ``lo_bit``."""
+    if isinstance(a, int):
+        return (a >> lo_bit) & _mask(width)
+    if lo_bit == 0 and a.width == width:
+        return a
+    if a.kind == "zext":
+        inner = a.args[0]
+        if lo_bit + width <= inner.width or isinstance(inner, int):
+            return bv_extract(inner, lo_bit, width)
+        if lo_bit >= inner.width:
+            return 0
+    if a.kind == "concat":
+        # Byte-granular concat: find the covered parts.
+        return _extract_from_concat(a, lo_bit, width)
+    if a.kind == "extract":
+        return bv_extract(a.args[0], a.lo + lo_bit, width)
+    return Expr("extract", width, args=(a,), lo=lo_bit)
+
+
+def _extract_from_concat(concat, lo_bit, width):
+    offset = 0
+    parts = []
+    need_lo = lo_bit
+    need_hi = lo_bit + width
+    for part in concat.args:
+        part_width = 32 if isinstance(part, int) else part.width
+        part_lo, part_hi = offset, offset + part_width
+        overlap_lo = max(need_lo, part_lo)
+        overlap_hi = min(need_hi, part_hi)
+        if overlap_lo < overlap_hi:
+            piece = bv_extract(part, overlap_lo - part_lo,
+                               overlap_hi - overlap_lo)
+            parts.append(piece)
+        offset = part_hi
+    if not parts:
+        return 0
+    if len(parts) == 1:
+        return parts[0]
+    return bv_concat(parts)
+
+
+def bv_concat(parts):
+    """Concatenate little-endian parts (parts[0] = least significant)."""
+    widths = [32 if isinstance(p, int) else p.width for p in parts]
+    total = sum(widths)
+    if all(isinstance(p, int) for p in parts):
+        value = 0
+        shift = 0
+        for part, width in zip(parts, widths):
+            value |= (part & _mask(width)) << shift
+            shift += width
+        return value
+    if len(parts) == 1:
+        return parts[0]
+    return Expr("concat", total, args=tuple(parts))
+
+
+_CMP_FOLDS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "ult": lambda a, b: a < b,
+    "uge": lambda a, b: a >= b,
+    "slt": lambda a, b: _signed32(a) < _signed32(b),
+    "sge": lambda a, b: _signed32(a) >= _signed32(b),
+}
+
+
+def bv_cmp(kind, a, b):
+    """Comparison producing a 1-bit expression (or 0/1 int)."""
+    if isinstance(a, int) and isinstance(b, int):
+        return 1 if _CMP_FOLDS[kind](a, b) else 0
+    if isinstance(a, Expr) and a is b:
+        if kind in ("eq", "uge", "sge"):
+            return 1
+        if kind in ("ne", "ult", "slt"):
+            return 0
+    return Expr(kind, 1, args=(a, b))
+
+
+def bool_not(cond):
+    """Negate a 1-bit condition."""
+    if isinstance(cond, int):
+        return 0 if cond else 1
+    negations = {"eq": "ne", "ne": "eq", "ult": "uge", "uge": "ult",
+                 "slt": "sge", "sge": "slt"}
+    if cond.kind in negations:
+        return Expr(negations[cond.kind], 1, args=cond.args)
+    return Expr("eq", 1, args=(cond, 0))
+
+
+BINOP_BUILDERS = {
+    "add": bv_add,
+    "sub": bv_sub,
+    "and": bv_and,
+    "or": bv_or,
+    "xor": bv_xor,
+    "shl": lambda a, b, w=32: bv_shift("shl", a, b, w),
+    "shr": lambda a, b, w=32: bv_shift("shr", a, b, w),
+    "sar": lambda a, b, w=32: bv_shift("sar", a, b, w),
+    "mul": bv_mul,
+    "divu": bv_divu,
+    "remu": bv_remu,
+}
+
+
+def evaluate(expr, model):
+    """Evaluate ``expr`` to a concrete int under ``model`` (name -> int).
+
+    Unbound symbols evaluate to 0.
+    """
+    if isinstance(expr, int):
+        return expr
+    kind = expr.kind
+    if kind == "sym":
+        return model.get(expr.name, 0) & _mask(expr.width)
+    if kind == "zext":
+        return evaluate(expr.args[0], model)
+    if kind == "extract":
+        return (evaluate(expr.args[0], model) >> expr.lo) & _mask(expr.width)
+    if kind == "concat":
+        value = 0
+        shift = 0
+        for part in expr.args:
+            width = 32 if isinstance(part, int) else part.width
+            value |= (evaluate(part, model) & _mask(width)) << shift
+            shift += width
+        return value
+    if kind == "not":
+        return (~evaluate(expr.args[0], model)) & _mask(expr.width)
+    if kind == "neg":
+        return (-evaluate(expr.args[0], model)) & _mask(expr.width)
+    if kind in _CMP_FOLDS:
+        a = evaluate(expr.args[0], model)
+        b = evaluate(expr.args[1], model)
+        return 1 if _CMP_FOLDS[kind](a, b) else 0
+    a = evaluate(expr.args[0], model)
+    b = evaluate(expr.args[1], model)
+    fold = {
+        "add": lambda x, y: x + y,
+        "sub": lambda x, y: x - y,
+        "and": lambda x, y: x & y,
+        "or": lambda x, y: x | y,
+        "xor": lambda x, y: x ^ y,
+        "shl": lambda x, y: x << (y & 31),
+        "shr": lambda x, y: x >> (y & 31),
+        "sar": lambda x, y: _signed32(x) >> (y & 31),
+        "mul": lambda x, y: x * y,
+        "divu": lambda x, y: x // y if y else 0,
+        "remu": lambda x, y: x % y if y else 0,
+    }[kind]
+    return fold(a, b) & _mask(expr.width)

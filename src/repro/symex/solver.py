@@ -1,0 +1,208 @@
+"""Heuristic bitvector constraint solver.
+
+The queries symbolic driver execution generates are overwhelmingly
+comparisons of (chains of arithmetic/masking over) hardware-input symbols
+against constants -- status-bit tests, length checks, OID dispatch.  This
+solver decides them with a model-search strategy:
+
+1. **candidate mining** -- constants appearing in the constraint trees
+   (plus neighbours and boundary values) are candidate assignments;
+2. **greedy per-symbol search** -- hill-climb one symbol at a time over the
+   candidate set, keeping the assignment maximizing satisfied constraints;
+3. **seeded random sampling** as a fallback.
+
+A found model proves satisfiability; failure to find one is treated as
+infeasible.  This mirrors how a timeout-bounded KLEE/STP behaves in
+practice (paths whose feasibility cannot be established in budget are
+dropped), and is documented as a substitution in DESIGN.md.
+"""
+
+import itertools
+import random
+
+from repro.symex.expr import Expr, evaluate
+
+_BOUNDARY_VALUES = (0, 1, 2, 3, 4, 5, 6, 7, 8, 0x10, 0x20, 0x40, 0x7F, 0x80,
+                    0xFF, 0x100, 0x5EA, 0x5EB, 0x600, 0xFFFF, 0x10000,
+                    0x7FFFFFFF, 0x80000000, 0xFFFFFFFE, 0xFFFFFFFF)
+
+
+class Solver:
+    """Model finder over conjunctions of 1-bit constraint expressions."""
+
+    def __init__(self, seed=0xC0FFEE, random_tries=48, greedy_passes=3):
+        self._rng = random.Random(seed)
+        self.random_tries = random_tries
+        self.greedy_passes = greedy_passes
+        self.queries = 0
+        self.sat_results = 0
+
+    # ------------------------------------------------------------------
+
+    def find_model(self, constraints, prefer=None):
+        """Return a satisfying ``{symbol: value}`` or ``None``.
+
+        ``prefer`` optionally seeds the search with a partial model, so
+        concretizations stay stable along a path.
+        """
+        self.queries += 1
+        constraints = [c for c in constraints if not isinstance(c, int)
+                       or c == 0]
+        if any(isinstance(c, int) and c == 0 for c in constraints):
+            return None
+        if not constraints:
+            self.sat_results += 1
+            return dict(prefer or {})
+
+        # Slice the conjunction into symbol-connected components and solve
+        # each independently -- sound, and essential for keeping per-branch
+        # queries cheap as path constraints accumulate.
+        merged = dict(prefer or {})
+        for component in self._slice(constraints):
+            result = self._solve_component(component, merged)
+            if result is None:
+                return None
+            merged.update(result)
+        self.sat_results += 1
+        return merged
+
+    @staticmethod
+    def _slice(constraints):
+        """Partition constraints into symbol-connected components."""
+        symbol_sets = []
+        for constraint in constraints:
+            symbol_sets.append(constraint.symbols()
+                               if isinstance(constraint, Expr) else set())
+        components = []
+        assigned = [None] * len(constraints)
+        for i, symbols in enumerate(symbol_sets):
+            if assigned[i] is not None:
+                continue
+            group = [i]
+            group_symbols = set(symbols)
+            changed = True
+            while changed:
+                changed = False
+                for j in range(len(constraints)):
+                    if assigned[j] is None and j not in group \
+                            and symbol_sets[j] & group_symbols:
+                        group.append(j)
+                        group_symbols |= symbol_sets[j]
+                        changed = True
+            for j in group:
+                assigned[j] = len(components)
+            components.append([constraints[j] for j in group])
+        return components
+
+    def _solve_component(self, constraints, prefer):
+        symbols = set()
+        for constraint in constraints:
+            symbols |= constraint.symbols()
+        symbols = sorted(symbols)
+        if not symbols:
+            # Fully concrete constraints that didn't fold: evaluate.
+            if all(evaluate(c, {}) for c in constraints):
+                return {}
+            return None
+
+        candidates = self._mine_candidates(constraints)
+        model = {name: prefer.get(name, 0) for name in symbols}
+
+        if self._satisfied(constraints, model):
+            return model
+
+        result = self._greedy_search(constraints, symbols, candidates, model)
+        if result is not None:
+            return result
+
+        base = {name: prefer[name] for name in symbols if name in prefer}
+        return self._random_search(constraints, symbols, candidates, base)
+
+    def is_feasible(self, constraints):
+        """True when a model was found for the conjunction."""
+        return self.find_model(constraints) is not None
+
+    def concretize(self, expr, constraints, prefer=None):
+        """Pick a concrete value for ``expr`` consistent with
+        ``constraints``; returns ``(value, model)`` or ``(None, None)``."""
+        model = self.find_model(constraints, prefer=prefer)
+        if model is None:
+            return None, None
+        return evaluate(expr, model), model
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _satisfied(constraints, model):
+        return all(evaluate(c, model) == 1 for c in constraints)
+
+    @staticmethod
+    def _score(constraints, model):
+        return sum(1 for c in constraints if evaluate(c, model) == 1)
+
+    def _mine_candidates(self, constraints):
+        mined = set(_BOUNDARY_VALUES)
+        stack = list(constraints)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, int):
+                value = node & 0xFFFFFFFF
+                for delta in (-2, -1, 0, 1, 2):
+                    mined.add((value + delta) & 0xFFFFFFFF)
+                # Values helpful against masks / shifted comparisons.
+                mined.add((value << 8) & 0xFFFFFFFF)
+                mined.add((value << 16) & 0xFFFFFFFF)
+                mined.add((value >> 8) & 0xFFFFFFFF)
+                if value:
+                    mined.add((~value) & 0xFFFFFFFF)
+                continue
+            if isinstance(node, Expr):
+                stack.extend(node.args)
+        return sorted(mined)
+
+    def _greedy_search(self, constraints, symbols, candidates, model):
+        model = dict(model)
+        best_score = self._score(constraints, model)
+        target = len(constraints)
+        for _ in range(self.greedy_passes):
+            improved = False
+            for name in symbols:
+                original = model[name]
+                best_value = original
+                for value in candidates:
+                    model[name] = value
+                    score = self._score(constraints, model)
+                    if score > best_score:
+                        best_score = score
+                        best_value = value
+                        improved = True
+                        if score == target:
+                            return model
+                model[name] = best_value
+            if not improved:
+                break
+        if best_score == target:
+            return model
+        return None
+
+    def _random_search(self, constraints, symbols, candidates, base):
+        pool = candidates or [0]
+        for _ in range(self.random_tries):
+            model = dict(base)
+            for name in symbols:
+                if self._rng.random() < 0.5:
+                    model[name] = self._rng.choice(pool)
+                else:
+                    model[name] = self._rng.getrandbits(32)
+            # Pairwise combinations of mined values matter for two-symbol
+            # equalities; mix one more pass of single-symbol repair.
+            if self._satisfied(constraints, model):
+                return model
+            for name, value in itertools.islice(
+                    itertools.product(symbols, pool), 64):
+                saved = model[name]
+                model[name] = value
+                if self._satisfied(constraints, model):
+                    return model
+                model[name] = saved
+        return None

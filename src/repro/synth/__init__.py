@@ -1,0 +1,27 @@
+"""Driver synthesis: activity traces -> C code + executable driver module.
+
+Implements paper section 4: rebuild the control flow graph of the original
+driver by merging execution paths (identifying function boundaries from
+call/return pairs, splitting translation blocks into basic blocks,
+separating asynchronous-event traces), recover parameter counts and return
+values with def-use analysis over the recorded memory accesses, and emit
+both C source (the developer-facing artifact) and an executable IR module
+(which the target-OS simulators run through the driver templates).
+"""
+
+from repro.synth.cfg import CfgBuilder, RecoveredFunction
+from repro.synth.defuse import analyze_signatures
+from repro.synth.cgen import generate_c
+from repro.synth.module import SynthesizedDriver, synthesize
+from repro.synth.report import SynthesisReport, build_report
+
+__all__ = [
+    "CfgBuilder",
+    "RecoveredFunction",
+    "analyze_signatures",
+    "generate_c",
+    "SynthesizedDriver",
+    "synthesize",
+    "SynthesisReport",
+    "build_report",
+]

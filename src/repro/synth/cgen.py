@@ -1,0 +1,308 @@
+"""C code generation from recovered CFGs (paper section 4.1, Listing 1).
+
+The emitted C mirrors the paper's output style: control flow is encoded
+with ``goto``, the driver's state layout is preserved through raw pointer
+arithmetic, hardware I/O goes through ``read_port*``/``write_port*``
+helpers, and function calls are preserved.  Unexplored branch targets are
+flagged with a warning comment for the developer.
+"""
+
+from repro.ir import nodes as N
+
+_PROLOGUE = """\
+/*
+ * Synthesized by RevNIC-repro from the binary driver %(name)s.
+ * Control flow uses goto; the original driver's state layout and pointer
+ * arithmetic are preserved.  Stack-passed arguments use the emulated
+ * stack helpers push32()/pop32(); r0 carries return values.
+ */
+#include "revnic_runtime.h"
+"""
+
+RUNTIME_HEADER = """\
+/* revnic_runtime.h -- helpers assumed by RevNIC-synthesized code. */
+#ifndef REVNIC_RUNTIME_H
+#define REVNIC_RUNTIME_H
+#include <stdint.h>
+
+uint32_t mem_read8(uint32_t addr);
+uint32_t mem_read16(uint32_t addr);
+uint32_t mem_read32(uint32_t addr);
+void mem_write8(uint32_t addr, uint32_t value);
+void mem_write16(uint32_t addr, uint32_t value);
+void mem_write32(uint32_t addr, uint32_t value);
+uint32_t read_port8(uint32_t port);
+uint32_t read_port16(uint32_t port);
+uint32_t read_port32(uint32_t port);
+void write_port8(uint32_t port, uint32_t value);
+void write_port16(uint32_t port, uint32_t value);
+void write_port32(uint32_t port, uint32_t value);
+void push32(uint32_t value);
+uint32_t pop32(void);
+
+#endif
+"""
+
+_CMP_C = {
+    N.CmpKind.EQ: ("==", False),
+    N.CmpKind.NE: ("!=", False),
+    N.CmpKind.ULT: ("<", False),
+    N.CmpKind.UGE: (">=", False),
+    N.CmpKind.SLT: ("<", True),
+    N.CmpKind.SGE: (">=", True),
+}
+
+_BIN_C = {
+    N.BinKind.ADD: "+", N.BinKind.SUB: "-", N.BinKind.AND: "&",
+    N.BinKind.OR: "|", N.BinKind.XOR: "^", N.BinKind.SHL: "<<",
+    N.BinKind.SHR: ">>", N.BinKind.MUL: "*", N.BinKind.DIVU: "/",
+    N.BinKind.REMU: "%",
+}
+
+
+def generate_c(functions, driver_name="driver", import_names=None):
+    """Generate the full C translation unit for ``functions``.
+
+    Returns ``(source_text, per_function_texts)``.
+    """
+    import_names = import_names or {}
+    chunks = [_PROLOGUE % {"name": driver_name}]
+    per_function = {}
+    for entry in sorted(functions):
+        function = functions[entry]
+        text = _generate_function(function, functions, import_names)
+        per_function[entry] = text
+        chunks.append(text)
+    return "\n".join(chunks), per_function
+
+
+def _c_name(function):
+    return function.name if function.role is None else \
+        "%s_%08x" % (function.role, function.entry)
+
+
+def _generate_function(function, functions, import_names):
+    lines = []
+    params = ", ".join("uint32_t arg%d" % i
+                       for i in range(function.param_count)) or "void"
+    return_type = "uint32_t" if function.has_return else "void"
+    lines.append("%s %s(%s)" % (return_type, _c_name(function), params))
+    lines.append("{")
+    lines.append("    /* guest register file (locals of the original "
+                 "function) */")
+    lines.append("    uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, "
+                 "r5 = 0, r6 = 0, r7 = 0;")
+    lines.append("    uint32_t r8 = 0, r9 = 0, r10 = 0, r11 = 0, r12 = 0, "
+                 "r13 = 0, r14 = 0, r15 = 0;")
+    if function.param_count:
+        lines.append("    /* stdcall arguments repushed onto the emulated "
+                     "stack */")
+        for i in reversed(range(function.param_count)):
+            lines.append("    push32(arg%d);" % i)
+
+    blocks = function.sorted_blocks()
+    multi = len(blocks) > 1
+    for block in blocks:
+        if multi or block.pc != function.entry:
+            lines.append("bb_%08x:" % block.pc)
+        lines.extend(_generate_block(block, function, functions,
+                                     import_names))
+    if function.unexplored_targets:
+        lines.append("    /* REVNIC WARNING: branches to unexercised code "
+                     "below */")
+        for target in sorted(function.unexplored_targets):
+            lines.append("bb_%08x:" % target)
+            lines.append("    /* REVNIC: block 0x%08x was never explored; "
+                         "insert manually (see section 4.1) */" % target)
+            lines.append("    %s" % ("return r0;" if function.has_return
+                                     else "return;"))
+    lines.append("}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _generate_block(block, function, functions, import_names):
+    out = []
+    env = _TempNames(block.ops)
+    for op in block.ops:
+        stmt = _op_to_c(op, env, function, functions, import_names)
+        if stmt:
+            out.extend("    " + line for line in stmt)
+        env.advance()
+    if block.terminator is None or not isinstance(block.terminator,
+                                                  N.TERMINATOR_TYPES):
+        out.append("    goto bb_%08x;" % block.end_pc)
+    return out
+
+
+class _TempNames:
+    """Maps temp indices to C expressions.
+
+    Pure expressions are inlined at their use sites -- but only when no
+    register they read is reassigned between definition and use; otherwise
+    the temp is materialized as a named local at definition time (emitted
+    by :meth:`set`'s return value).  This preserves the IR's
+    read-at-definition semantics in the flattened C.
+    """
+
+    def __init__(self, ops):
+        self.exprs = {}
+        self.index = 0
+        self._materialize = self._analyze(ops)
+        self._pending = []
+
+    @staticmethod
+    def _analyze(ops):
+        """Temp indices that must be materialized: their expression reads a
+        register that is reassigned before the temp's last use."""
+        def_index = {}
+        regs_read = {}
+        uses = {}
+        reg_version = {}
+        def_version = {}
+        for i, op in enumerate(ops):
+            for temp in _op_uses(op):
+                uses.setdefault(temp, []).append(i)
+            dst = getattr(op, "dst", None)
+            if isinstance(op, N.IrGetReg):
+                def_index[op.dst] = i
+                regs_read[op.dst] = {op.reg}
+                def_version[op.dst] = {op.reg: reg_version.get(op.reg, 0)}
+            elif dst is not None:
+                parents = set()
+                for temp in _op_uses(op):
+                    parents |= regs_read.get(temp, set())
+                def_index[dst] = i
+                regs_read[dst] = parents
+                def_version[dst] = {r: reg_version.get(r, 0)
+                                    for r in parents}
+            if isinstance(op, N.IrSetReg):
+                reg_version[op.reg] = reg_version.get(op.reg, 0) + 1
+
+        materialize = set()
+        reg_version = {}
+        version_at = []
+        for i, op in enumerate(ops):
+            version_at.append(dict(reg_version))
+            if isinstance(op, N.IrSetReg):
+                reg_version[op.reg] = reg_version.get(op.reg, 0) + 1
+        for temp, use_indices in uses.items():
+            versions = def_version.get(temp)
+            if versions is None:
+                continue
+            for use in use_indices:
+                for reg, version in versions.items():
+                    if version_at[use].get(reg, 0) != version:
+                        materialize.add(temp)
+        return materialize
+
+    def advance(self):
+        self.index += 1
+
+    def set(self, temp, expr):
+        """Record ``temp``'s expression; returns a statement list when the
+        temp must be materialized."""
+        if temp in self._materialize:
+            name = "t%d" % temp
+            self.exprs[temp] = name
+            return ["uint32_t %s = %s;" % (name, expr)]
+        self.exprs[temp] = expr
+        return []
+
+    def force(self, temp, name):
+        """Bind ``temp`` to an already-materialized local name."""
+        self.exprs[temp] = name
+
+    def get(self, temp):
+        return self.exprs.get(temp, "t%d" % temp)
+
+
+def _op_uses(op):
+    """Temp indices read by ``op``."""
+    out = []
+    for attr in ("a", "b", "src", "addr", "port", "cond"):
+        value = getattr(op, attr, None)
+        if isinstance(value, int):
+            out.append(value)
+    if isinstance(op, (N.IrJump, N.IrCall)) and op.indirect:
+        out.append(op.target)
+    return out
+
+
+def _op_to_c(op, env, function, functions, import_names):
+    if isinstance(op, N.IrConst):
+        return env.set(op.dst, "0x%xu" % op.value)
+    if isinstance(op, N.IrGetReg):
+        return env.set(op.dst, "r%d" % op.reg)
+    if isinstance(op, N.IrSetReg):
+        return ["r%d = %s;" % (op.reg, env.get(op.src))]
+    if isinstance(op, N.IrBin):
+        a, b = env.get(op.a), env.get(op.b)
+        if op.kind in (N.BinKind.SHL, N.BinKind.SHR):
+            expr = "(%s %s (%s & 31))" % (a, _BIN_C[op.kind], b)
+        elif op.kind == N.BinKind.SAR:
+            expr = "((uint32_t)((int32_t)%s >> (%s & 31)))" % (a, b)
+        else:
+            expr = "(%s %s %s)" % (a, _BIN_C[op.kind], b)
+        return env.set(op.dst, expr)
+    if isinstance(op, N.IrNot):
+        return env.set(op.dst, "(~%s)" % env.get(op.a))
+    if isinstance(op, N.IrNeg):
+        return env.set(op.dst, "(0u - %s)" % env.get(op.a))
+    if isinstance(op, N.IrCmp):
+        operator, signed = _CMP_C[op.kind]
+        cast = "(int32_t)" if signed else ""
+        return env.set(op.dst, "(%s%s %s %s%s)"
+                       % (cast, env.get(op.a), operator, cast,
+                          env.get(op.b)))
+    if isinstance(op, N.IrLoad):
+        # Loads are effects: always materialize so ordering is preserved.
+        name = "t%d" % op.dst
+        stmt = "uint32_t %s = mem_read%d(%s);" % (name, op.width * 8,
+                                                  env.get(op.addr))
+        env.force(op.dst, name)
+        return [stmt]
+    if isinstance(op, N.IrStore):
+        return ["mem_write%d(%s, %s);" % (op.width * 8, env.get(op.addr),
+                                          env.get(op.src))]
+    if isinstance(op, N.IrIn):
+        name = "t%d" % op.dst
+        stmt = "uint32_t %s = read_port%d(%s);" % (name, op.width * 8,
+                                                   env.get(op.port))
+        env.force(op.dst, name)
+        return [stmt]
+    if isinstance(op, N.IrOut):
+        return ["write_port%d(%s, %s);" % (op.width * 8, env.get(op.port),
+                                           env.get(op.src))]
+    if isinstance(op, N.IrJump):
+        if op.indirect:
+            return ["/* indirect jump */ revnic_indirect_jump(%s);"
+                    % env.get(op.target)]
+        return ["goto bb_%08x;" % op.target]
+    if isinstance(op, N.IrCondJump):
+        return ["if (%s) goto bb_%08x;" % (env.get(op.cond), op.target),
+                "goto bb_%08x;" % op.fallthrough]
+    if isinstance(op, N.IrCall):
+        return _call_to_c(op, env, functions, import_names)
+    if isinstance(op, N.IrRet):
+        if function.has_return:
+            return ["return r0;"]
+        return ["return;"]
+    if isinstance(op, N.IrHalt):
+        return ["/* halt */ for (;;) {}"]
+    raise TypeError("unknown IR op %r" % (op,))  # pragma: no cover
+
+
+def _call_to_c(op, env, functions, import_names):
+    if op.indirect:
+        return ["r0 = revnic_indirect_call(%s);" % env.get(op.target)]
+    from repro.layout import import_index
+
+    slot = import_index(op.target)
+    if slot is not None:
+        name = import_names.get(slot, "os_import_%d" % slot)
+        return ["r0 = %s(); /* OS API, stack-passed args */" % name]
+    callee = functions.get(op.target)
+    if callee is not None:
+        return ["r0 = %s(); /* args on emulated stack */" % _c_name(callee)]
+    return ["r0 = fn_%08x(); /* callee not recovered */" % op.target]

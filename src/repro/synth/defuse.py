@@ -1,0 +1,136 @@
+"""Def-use analysis over recorded traces (paper section 4.1).
+
+"RevNIC determines the number of function parameters and return values
+using standard def-use analysis on the collected memory traces.  Since the
+traces contain the actual memory access locations and data, it is possible
+to trace back the definition of the parameters and the use of the possible
+return values."
+
+Parameters: stack loads whose concrete address falls at ``entry_sp + 4 +
+4k`` (an access into the caller's frame) mark parameter ``k``.  Return
+values: after a function returns, if the caller reads ``r0`` before
+redefining it, the function has a return value.
+"""
+
+from repro.ir import nodes as N
+from repro.isa.registers import REG_SP
+from repro.revnic.trace import BlockRecord, ImportRecord
+
+#: Registers whose post-return read does NOT indicate a return value
+RETURN_REG = 0
+
+MAX_PARAMS = 8
+
+
+def analyze_signatures(functions, builder):
+    """Fill ``param_count`` / ``has_return`` on every recovered function.
+
+    ``builder`` is the :class:`~repro.synth.cfg.CfgBuilder` whose
+    ``invocations`` list provides per-activation record groups.
+    """
+    entry_sps = _entry_sp_per_invocation(builder)
+    for (entry, _path, records, is_reopen), entry_sp in \
+            zip(builder.invocations, entry_sps):
+        function = functions.get(entry)
+        if function is None or is_reopen:
+            continue
+        if entry_sp is not None:
+            count = _scan_param_accesses(records, entry_sp)
+            function.param_count = max(function.param_count, count)
+    _detect_return_values(functions, builder)
+    return functions
+
+
+def _entry_sp_per_invocation(builder):
+    """sp at each activation's entry: from the first block's regs_before."""
+    out = []
+    for _entry, _path, records, _is_reopen in builder.invocations:
+        sp = None
+        for record in records:
+            if isinstance(record, BlockRecord):
+                value = record.regs_before[REG_SP]
+                if isinstance(value, int):
+                    sp = value
+                break
+        out.append(sp)
+    return out
+
+
+def _scan_param_accesses(records, entry_sp):
+    """Count distinct parameter slots loaded from the caller's frame."""
+    slots = set()
+    for record in records:
+        if not isinstance(record, BlockRecord):
+            continue
+        for access in record.accesses:
+            if access.is_write or access.kind != "ram":
+                continue
+            offset = access.address - (entry_sp + 4)
+            if 0 <= offset < MAX_PARAMS * 4 and offset % 4 == 0:
+                slots.add(offset // 4)
+    if not slots:
+        return 0
+    return max(slots) + 1
+
+
+def _detect_return_values(functions, builder):
+    """Check every call site: does the caller read r0 after the return,
+    before redefining it?"""
+    for segment in builder.trace.segments:
+        for path in segment.paths:
+            _scan_path_returns(functions, path.records)
+
+
+def _scan_path_returns(functions, records):
+    call_stack = []
+    for index, record in enumerate(records):
+        if isinstance(record, ImportRecord):
+            continue
+        if not isinstance(record, BlockRecord):
+            continue
+        if record.terminator == "call":
+            next_block = _next_block(records, index)
+            if next_block is not None and record.target != next_block.pc \
+                    and record.target is not None:
+                continue  # import call, no driver callee
+            if next_block is not None:
+                call_stack.append(next_block.pc)
+            continue
+        if record.terminator == "ret":
+            if not call_stack:
+                continue
+            callee_entry = call_stack.pop()
+            # Find the function whose blocks include the callee entry.
+            function = _owner(functions, callee_entry)
+            if function is None or function.has_return:
+                continue
+            next_block = _next_block(records, index)
+            if next_block is not None and _reads_r0_first(next_block.block):
+                function.has_return = True
+
+
+def _next_block(records, index):
+    for record in records[index + 1:]:
+        if isinstance(record, BlockRecord):
+            return record
+    return None
+
+
+def _owner(functions, entry):
+    function = functions.get(entry)
+    if function is not None:
+        return function
+    for candidate in functions.values():
+        if entry in candidate.blocks:
+            return candidate
+    return None
+
+
+def _reads_r0_first(block):
+    """True when the block reads r0 before any write to it."""
+    for op in block.ops:
+        if isinstance(op, N.IrGetReg) and op.reg == RETURN_REG:
+            return True
+        if isinstance(op, N.IrSetReg) and op.reg == RETURN_REG:
+            return False
+    return False

@@ -1,0 +1,25 @@
+"""Target operating-system simulators.
+
+The paper ports drivers to four targets: back to Windows XP, to Linux
+2.6.26, to the µC/OS-II embedded kernel (FPGA) and to the authors' bare-
+metal KitOS.  These simulators are those targets: each provides the OS-side
+services a NIC driver needs, with per-OS API semantics and per-OS
+performance characteristics (network-stack cost, interrupt cost) consumed
+by the evaluation's performance model.
+"""
+
+from repro.targetos.base import OsTraits, TargetOs
+from repro.targetos.winsim import WinSim
+from repro.targetos.linsim import LinSim
+from repro.targetos.ucsim import UcSim
+from repro.targetos.kitos import KitOs
+
+TARGET_OSES = {
+    "winsim": WinSim,
+    "linsim": LinSim,
+    "ucsim": UcSim,
+    "kitos": KitOs,
+}
+
+__all__ = ["OsTraits", "TargetOs", "WinSim", "LinSim", "UcSim", "KitOs",
+           "TARGET_OSES"]

@@ -1,0 +1,20 @@
+"""KitOS: the authors' bare-metal OS.
+
+"This OS initializes the CPU into protected mode and lets the driver use
+the hardware directly, without any OS-related overhead (no multitasking,
+no memory management, etc.)" -- and no TCP/IP stack; benchmarks send
+hand-crafted raw UDP frames.  Running a driver on KitOS "does not require
+a template, since the driver can directly talk to the hardware" (Table 3:
+zero person-days); the adaptation below is the minimal runtime the driver
+needs to execute at all (static allocation, no-op logging).
+"""
+
+from repro.targetos.base import OsTraits, TargetOs
+
+
+class KitOs(TargetOs):
+    """Bare-metal target."""
+
+    TRAITS = OsTraits(name="kitos", stack_cost=0, irq_cost=40,
+                      syscall_cost=4, stack_per_byte=0.0,
+                      has_network_stack=False)

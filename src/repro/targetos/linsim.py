@@ -1,0 +1,47 @@
+"""LinSim: the Linux 2.6.26 analog target.
+
+The adaptation table re-routes the synthesized driver's source-OS calls to
+Linux-flavoured services (``netif_rx`` analog, ``pci_alloc_consistent``
+analog, ``printk`` analog) -- the mechanical translation the developer
+performs when instantiating the Linux template (paper section 4.2 and
+Listing 2).  The Linux network stack is slightly leaner per packet than
+the NDIS path in the paper's figures; traits reflect that.
+"""
+
+from repro.targetos.base import OsTraits, TargetOs
+
+
+class LinSim(TargetOs):
+    """netdev-like target OS."""
+
+    TRAITS = OsTraits(name="linsim", stack_cost=11000, irq_cost=140,
+                      syscall_cost=24, stack_per_byte=7.0)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.printk_log = []
+
+    def netif_rx(self, buffer, length):
+        """Linux-side receive indication."""
+        self.deliver_frame_up(buffer, length)
+        return 0
+
+    def pci_alloc_consistent(self, size, physical_out):
+        virtual = self.alloc(size, align=64)
+        self.machine.memory.write(physical_out, 4, virtual)
+        return virtual
+
+    def printk(self, code):
+        self.printk_log.append(code)
+        return 0
+
+    def adaptation_table(self):
+        table = super().adaptation_table()
+        table.update({
+            "NdisMIndicateReceivePacket":
+                (lambda a: self.netif_rx(a(0), a(1)), 2),
+            "NdisMAllocateSharedMemory":
+                (lambda a: self.pci_alloc_consistent(a(0), a(1)), 2),
+            "NdisWriteErrorLogEntry": (lambda a: self.printk(a(0)), 1),
+        })
+        return table

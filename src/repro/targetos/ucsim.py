@@ -1,0 +1,30 @@
+"""UcSim: the µC/OS-II analog target (embedded, FPGA-class).
+
+µC/OS-II "has a simple driver interface" (Table 3: one person-day for the
+template).  There is no demand-allocated kernel heap in the usual sense and
+no shared-memory DMA API -- the 91C111 is a PIO device; the network stack
+is a lightweight embedded one.  Traits model the 75 MHz Nios II: relatively
+higher per-packet stack cost in *cycles* terms is captured by the platform
+profile in the performance model, not here.
+"""
+
+from repro.errors import TemplateError
+from repro.targetos.base import OsTraits, TargetOs
+
+
+class UcSim(TargetOs):
+    """Embedded RTOS target."""
+
+    TRAITS = OsTraits(name="ucsim", stack_cost=900, irq_cost=90,
+                      syscall_cost=14, stack_per_byte=2.0)
+
+    def adaptation_table(self):
+        table = super().adaptation_table()
+
+        def no_dma(arg_reader):
+            raise TemplateError("ucsim has no DMA shared-memory API")
+
+        table.update({
+            "NdisMAllocateSharedMemory": (no_dma, 2),
+        })
+        return table

@@ -1,0 +1,16 @@
+"""WinSim: the Windows XP analog target (same-OS port).
+
+Porting back to the source OS "enables quantifying the overhead of the
+generated code with respect to the original Windows driver" (section 5.1).
+The adaptation table is the identity -- the synthesized code's API calls
+already are this OS's API.
+"""
+
+from repro.targetos.base import OsTraits, TargetOs
+
+
+class WinSim(TargetOs):
+    """NDIS-like target OS."""
+
+    TRAITS = OsTraits(name="winsim", stack_cost=13000, irq_cost=160,
+                      syscall_cost=28, stack_per_byte=8.0)

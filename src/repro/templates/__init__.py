@@ -1,0 +1,16 @@
+"""Per-OS NIC driver templates.
+
+"The template contains all OS-specific boilerplate for interfacing with
+the kernel ... Besides mandatory boilerplate, a template also contains
+placeholders for the actual hardware interaction" (section 2).  Templates
+form a class hierarchy: the base template targets a generic NIC; the
+derived template adds DMA capabilities -- matching the paper's "base
+template may target a generic PCI-based, wired NIC, while a derived
+template further adds DMA capabilities".
+"""
+
+from repro.templates.base import DmaNicTemplate, NicTemplate, TEMPLATE_INFO
+from repro.templates.runtime import SyntheticDriverRuntime
+
+__all__ = ["NicTemplate", "DmaNicTemplate", "TEMPLATE_INFO",
+           "SyntheticDriverRuntime"]

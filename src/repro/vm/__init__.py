@@ -1,0 +1,25 @@
+"""The concrete virtual machine substrate (the reproduction's QEMU analog).
+
+The machine executes R32 code concretely: the guest-OS simulator loads a
+driver binary into guest memory and invokes its entry points on this CPU.
+RevNIC swaps the concrete CPU's execution of *driver* code for symbolic
+execution of the DBT-translated IR (selective symbolic execution), while
+everything else -- the OS simulator, the exerciser -- keeps running
+concretely, exactly as in the paper's QEMU+KLEE design.
+"""
+
+from repro.vm.memory import Memory
+from repro.vm.bus import Bus, PortRange, MmioRange
+from repro.vm.cpu import Cpu, CpuExit, ExitReason
+from repro.vm.machine import Machine
+
+__all__ = [
+    "Memory",
+    "Bus",
+    "PortRange",
+    "MmioRange",
+    "Cpu",
+    "CpuExit",
+    "ExitReason",
+    "Machine",
+]

@@ -1,0 +1,250 @@
+"""Concrete R32 CPU interpreter."""
+
+import enum
+
+from repro.errors import InvalidInstruction, VmFault
+from repro.isa.encoding import INSTR_SIZE, NO_REG, decode
+from repro.isa.opcodes import Op
+from repro.isa.registers import NUM_REGS, REG_SP
+from repro.layout import RETURN_TO_OS, import_index
+
+_MASK32 = 0xFFFFFFFF
+
+
+def to_signed(value):
+    """Interpret a 32-bit unsigned value as signed."""
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+class ExitReason(enum.Enum):
+    """Why :meth:`Cpu.run` stopped."""
+
+    HALT = "halt"
+    RETURNED_TO_OS = "returned-to-os"
+    STEP_LIMIT = "step-limit"
+
+
+class CpuExit(Exception):
+    """Raised internally to unwind out of the execution loop."""
+
+    def __init__(self, reason):
+        self.reason = reason
+        super().__init__(reason.value)
+
+
+class Cpu:
+    """Interprets R32 machine code against a :class:`~repro.vm.bus.Bus`.
+
+    ``import_handler`` is invoked for ``CALL``s into the import-thunk
+    window; it receives ``(cpu, import_index)`` and must return the number
+    of 4-byte stack arguments consumed (stdcall callee-clean).
+    """
+
+    def __init__(self, bus, import_handler=None):
+        self.bus = bus
+        self.import_handler = import_handler
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        #: Retired instruction count (performance-model input).
+        self.instret = 0
+        #: Device (port/MMIO) access count.
+        self.io_ops = 0
+        #: Regular memory access count.
+        self.mem_ops = 0
+        self._decode_cache = {}
+
+    # ------------------------------------------------------------------
+    # Register / stack helpers
+
+    @property
+    def sp(self):
+        return self.regs[REG_SP]
+
+    @sp.setter
+    def sp(self, value):
+        self.regs[REG_SP] = value & _MASK32
+
+    def push(self, value):
+        """Push a 32-bit value."""
+        self.sp = (self.sp - 4) & _MASK32
+        self.bus.memory.write(self.sp, 4, value)
+
+    def pop(self):
+        """Pop a 32-bit value."""
+        value = self.bus.memory.read(self.sp, 4)
+        self.sp = (self.sp + 4) & _MASK32
+        return value
+
+    def read_stack_arg(self, slot):
+        """Read stdcall argument ``slot`` (0-based) relative to the current
+        ``sp`` (valid immediately after a CALL pushed the return address)."""
+        return self.bus.memory.read(self.sp + 4 + 4 * slot, 4)
+
+    def invalidate_decode_cache(self):
+        """Drop cached decodes (after loading new code)."""
+        self._decode_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run(self, max_steps=5_000_000):
+        """Run until HALT, a return to the OS, or the step limit.
+
+        Returns the :class:`ExitReason`.  Guest faults propagate as
+        :class:`~repro.errors.VmFault`.
+        """
+        steps = 0
+        try:
+            while steps < max_steps:
+                self.step()
+                steps += 1
+        except CpuExit as exit_info:
+            return exit_info.reason
+        return ExitReason.STEP_LIMIT
+
+    def step(self):
+        """Execute one instruction."""
+        instr = self._fetch(self.pc)
+        next_pc = (self.pc + INSTR_SIZE) & _MASK32
+        self.instret += 1
+        op = instr.op
+        regs = self.regs
+
+        if op == Op.NOP:
+            pass
+        elif op == Op.HALT:
+            raise CpuExit(ExitReason.HALT)
+        elif op == Op.MOV:
+            regs[instr.a] = regs[instr.b]
+        elif op == Op.MOVI:
+            regs[instr.a] = instr.imm
+        elif op == Op.LD8 or op == Op.LD16 or op == Op.LD32:
+            width = 1 if op == Op.LD8 else 2 if op == Op.LD16 else 4
+            address = (regs[instr.b] + instr.imm) & _MASK32
+            regs[instr.a] = self.bus.mem_read(address, width)
+            self._count_access(address)
+        elif op == Op.ST8 or op == Op.ST16 or op == Op.ST32:
+            width = 1 if op == Op.ST8 else 2 if op == Op.ST16 else 4
+            address = (regs[instr.a] + instr.imm) & _MASK32
+            self.bus.mem_write(address, width, regs[instr.b])
+            self._count_access(address)
+        elif op == Op.PUSH:
+            self.push(regs[instr.a])
+            self.mem_ops += 1
+        elif op == Op.POP:
+            regs[instr.a] = self.pop()
+            self.mem_ops += 1
+        elif op in _ALU_FUNCS:
+            src2 = instr.imm if instr.c == NO_REG else regs[instr.c]
+            regs[instr.a] = _ALU_FUNCS[op](regs[instr.b], src2)
+        elif op == Op.NOT:
+            regs[instr.a] = (~regs[instr.b]) & _MASK32
+        elif op == Op.NEG:
+            regs[instr.a] = (-regs[instr.b]) & _MASK32
+        elif op in _BRANCH_FUNCS:
+            if _BRANCH_FUNCS[op](regs[instr.a], regs[instr.b]):
+                next_pc = instr.imm
+        elif op == Op.JMP:
+            next_pc = instr.imm
+        elif op == Op.JMPR:
+            next_pc = regs[instr.a]
+        elif op == Op.CALL or op == Op.CALLR:
+            target = instr.imm if op == Op.CALL else regs[instr.a]
+            self.push(next_pc)
+            self.mem_ops += 1
+            slot = import_index(target)
+            if slot is not None:
+                next_pc = self._dispatch_import(slot)
+            else:
+                next_pc = target
+        elif op == Op.RET:
+            return_pc = self.pop()
+            self.mem_ops += 1
+            self.sp = (self.sp + instr.imm) & _MASK32
+            if return_pc == RETURN_TO_OS:
+                self.pc = return_pc
+                raise CpuExit(ExitReason.RETURNED_TO_OS)
+            next_pc = return_pc
+        elif op == Op.IN8 or op == Op.IN16 or op == Op.IN32:
+            width = 1 if op == Op.IN8 else 2 if op == Op.IN16 else 4
+            port = (regs[instr.b] + instr.imm) & _MASK32
+            regs[instr.a] = self.bus.io_read(port, width)
+            self.io_ops += 1
+        elif op == Op.OUT8 or op == Op.OUT16 or op == Op.OUT32:
+            width = 1 if op == Op.OUT8 else 2 if op == Op.OUT16 else 4
+            port = (regs[instr.a] + instr.imm) & _MASK32
+            self.bus.io_write(port, width, regs[instr.b])
+            self.io_ops += 1
+        else:  # pragma: no cover - decode rejects unknown opcodes
+            raise InvalidInstruction("unimplemented opcode %s" % op)
+
+        self.pc = next_pc
+
+    def _fetch(self, address):
+        instr = self._decode_cache.get(address)
+        if instr is None:
+            raw = self.bus.memory.read_bytes(address, INSTR_SIZE)
+            try:
+                instr = decode(raw)
+            except Exception as exc:
+                raise InvalidInstruction(
+                    "bad instruction at 0x%08x: %s" % (address, exc)) from exc
+            self._decode_cache[address] = instr
+        return instr
+
+    def _count_access(self, address):
+        if self.bus.is_device_address(address):
+            self.io_ops += 1
+        else:
+            self.mem_ops += 1
+
+    def _dispatch_import(self, slot):
+        if self.import_handler is None:
+            raise VmFault("import call with no handler installed")
+        nargs = self.import_handler(self, slot)
+        return_pc = self.pop()
+        self.sp = (self.sp + 4 * int(nargs)) & _MASK32
+        if return_pc == RETURN_TO_OS:
+            self.pc = return_pc
+            raise CpuExit(ExitReason.RETURNED_TO_OS)
+        return return_pc
+
+
+def _shift_amount(value):
+    return value & 31
+
+
+_ALU_FUNCS = {
+    Op.ADD: lambda a, b: (a + b) & _MASK32,
+    Op.SUB: lambda a, b: (a - b) & _MASK32,
+    Op.AND: lambda a, b: a & b & _MASK32,
+    Op.OR: lambda a, b: (a | b) & _MASK32,
+    Op.XOR: lambda a, b: (a ^ b) & _MASK32,
+    Op.SHL: lambda a, b: (a << _shift_amount(b)) & _MASK32,
+    Op.SHR: lambda a, b: (a & _MASK32) >> _shift_amount(b),
+    Op.SAR: lambda a, b: (to_signed(a) >> _shift_amount(b)) & _MASK32,
+    Op.MUL: lambda a, b: (a * b) & _MASK32,
+    Op.DIVU: lambda a, b: _divu(a, b),
+    Op.REMU: lambda a, b: _remu(a, b),
+}
+
+_BRANCH_FUNCS = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: to_signed(a) < to_signed(b),
+    Op.BGE: lambda a, b: to_signed(a) >= to_signed(b),
+    Op.BLTU: lambda a, b: a < b,
+    Op.BGEU: lambda a, b: a >= b,
+}
+
+
+def _divu(a, b):
+    if b == 0:
+        raise VmFault("divide by zero")
+    return (a // b) & _MASK32
+
+
+def _remu(a, b):
+    if b == 0:
+        raise VmFault("divide by zero")
+    return (a % b) & _MASK32

@@ -1,0 +1,117 @@
+"""Sparse, region-checked guest physical memory."""
+
+from repro.errors import MemoryFault
+from repro.layout import PAGE_SIZE
+
+_WIDTH_MASK = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
+
+
+class Memory:
+    """Byte-addressable guest memory backed by sparse 4 KiB pages.
+
+    Regions must be mapped before use; access outside any mapped region
+    raises :class:`~repro.errors.MemoryFault`, which is how wild driver
+    accesses surface during both concrete and symbolic runs.
+    """
+
+    def __init__(self):
+        self._pages = {}
+        self._regions = []  # (base, limit, name), sorted
+
+    # ------------------------------------------------------------------
+    # Region management
+
+    def map_region(self, base, size, name="ram"):
+        """Map ``size`` bytes at ``base``; overlapping maps are rejected."""
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        limit = base + size
+        for rbase, rlimit, rname in self._regions:
+            if base < rlimit and rbase < limit:
+                raise ValueError("region %r overlaps %r" % (name, rname))
+        self._regions.append((base, limit, name))
+        self._regions.sort()
+
+    def region_name(self, address):
+        """Name of the region containing ``address`` or ``None``."""
+        for base, limit, name in self._regions:
+            if base <= address < limit:
+                return name
+        return None
+
+    def is_mapped(self, address, size=1):
+        """True when ``[address, address+size)`` lies in one region."""
+        for base, limit, _name in self._regions:
+            if base <= address and address + size <= limit:
+                return True
+        return False
+
+    def _check(self, address, size, kind):
+        if not self.is_mapped(address, size):
+            raise MemoryFault(address, kind)
+
+    # ------------------------------------------------------------------
+    # Typed access
+
+    def read(self, address, width):
+        """Read an unsigned little-endian integer of ``width`` bytes."""
+        self._check(address, width, "read")
+        return int.from_bytes(self._read_raw(address, width), "little")
+
+    def write(self, address, width, value):
+        """Write an unsigned little-endian integer of ``width`` bytes."""
+        self._check(address, width, "write")
+        value &= _WIDTH_MASK[width]
+        self._write_raw(address, value.to_bytes(width, "little"))
+
+    def read_bytes(self, address, size):
+        """Read ``size`` raw bytes."""
+        if size == 0:
+            return b""
+        self._check(address, size, "read")
+        return self._read_raw(address, size)
+
+    def write_bytes(self, address, data):
+        """Write raw bytes."""
+        if not data:
+            return
+        self._check(address, len(data), "write")
+        self._write_raw(address, data)
+
+    # ------------------------------------------------------------------
+    # Raw page-level plumbing
+
+    def _page(self, page_number):
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    def _read_raw(self, address, size):
+        out = bytearray()
+        while size:
+            page_number, offset = divmod(address, PAGE_SIZE)
+            chunk = min(size, PAGE_SIZE - offset)
+            page = self._pages.get(page_number)
+            if page is None:
+                out += b"\0" * chunk
+            else:
+                out += page[offset:offset + chunk]
+            address += chunk
+            size -= chunk
+        return bytes(out)
+
+    def _write_raw(self, address, data):
+        pos = 0
+        while pos < len(data):
+            page_number, offset = divmod(address + pos, PAGE_SIZE)
+            chunk = min(len(data) - pos, PAGE_SIZE - offset)
+            self._page(page_number)[offset:offset + chunk] = \
+                data[pos:pos + chunk]
+            pos += chunk
+
+    def snapshot_pages(self):
+        """Return ``{page_number: bytes}`` for all dirty pages (used to seed
+        symbolic-execution states with the concrete memory image)."""
+        return {n: bytes(p) for n, p in self._pages.items()}

@@ -1,0 +1,356 @@
+"""Unit tests for the assembler and DRV binary format."""
+
+import pytest
+
+from repro.asm import DrvImage, RelocKind, assemble, disassemble_image
+from repro.asm.disasm import static_call_targets
+from repro.errors import AsmError, BinFmtError
+from repro.isa import INSTR_SIZE, Op, decode
+
+
+def text_ops(image):
+    return [decode(image.text, off).op
+            for off in range(0, len(image.text), INSTR_SIZE)]
+
+
+class TestBasicAssembly:
+    def test_simple_program(self):
+        image = assemble("""
+        .export main
+        main:
+            movi r1, 5
+            add r2, r1, 3
+            halt
+        """)
+        assert text_ops(image) == [Op.MOVI, Op.ADD, Op.HALT]
+        assert image.entry == 0
+
+    def test_label_and_branch(self):
+        image = assemble("""
+        .export main
+        main:
+            movi r1, 0
+        loop:
+            add r1, r1, 1
+            blt r1, 10, loop
+            halt
+        """)
+        ops = text_ops(image)
+        # blt with immediate expands to movi at + blt
+        assert ops == [Op.MOVI, Op.ADD, Op.MOVI, Op.BLT, Op.HALT]
+        branch = decode(image.text, 3 * INSTR_SIZE)
+        assert branch.imm == INSTR_SIZE  # target of 'loop' (pre-reloc offset)
+
+    def test_text_reloc_on_branch(self):
+        image = assemble("""
+        .export main
+        main:
+            jmp main
+        """)
+        assert len(image.relocs) == 1
+        assert image.relocs[0].kind == RelocKind.TEXT
+        assert image.relocs[0].site == 4
+
+    def test_import_call(self):
+        image = assemble("""
+        .import NdisWriteLog
+        .export main
+        main:
+            call @NdisWriteLog
+            ret
+        """)
+        assert [imp.name for imp in image.imports] == ["NdisWriteLog"]
+        reloc = image.relocs[0]
+        assert reloc.kind == RelocKind.IMPORT
+        assert reloc.index == 0
+
+    def test_data_section(self):
+        image = assemble("""
+        .export main
+        main:
+            halt
+        .data
+        table:
+            .word 1, 2, 3
+        name:
+            .asciz "ok"
+        pad:
+            .space 5
+        bytes:
+            .byte 0xAA, 0xBB
+        halves:
+            .half 0x1234
+        """)
+        assert image.data[:12] == (b"\x01\x00\x00\x00"
+                                   b"\x02\x00\x00\x00"
+                                   b"\x03\x00\x00\x00")
+        assert image.data[12:15] == b"ok\x00"
+        assert image.data[15:20] == b"\x00" * 5
+        assert image.data[20:22] == b"\xaa\xbb"
+        assert image.data[22:24] == b"\x34\x12"
+
+    def test_data_label_reference(self):
+        image = assemble("""
+        .export main
+        main:
+            movi r1, greeting
+            halt
+        .data
+        greeting:
+            .asciz "hi"
+        """)
+        reloc = image.relocs[0]
+        assert reloc.kind == RelocKind.DATA
+        assert reloc.site == 4
+
+    def test_equ_constants(self):
+        image = assemble("""
+        .equ BASE, 0x100
+        .equ DOUBLED, BASE * 2
+        .export main
+        main:
+            movi r1, DOUBLED + 4
+            halt
+        """)
+        assert decode(image.text, 0).imm == 0x204
+
+    def test_expressions(self):
+        image = assemble("""
+        .export main
+        main:
+            movi r1, (1 << 4) | 3
+            movi r2, 0xFF & 0x0F
+            movi r3, 10 - 2 - 3
+            halt
+        """)
+        assert decode(image.text, 0).imm == 0x13
+        assert decode(image.text, 8).imm == 0x0F
+        assert decode(image.text, 16).imm == 5
+
+    def test_entry_directive(self):
+        image = assemble("""
+        .export helper
+        .entry main
+        helper:
+            ret
+        main:
+            halt
+        """)
+        assert image.entry == INSTR_SIZE
+
+    def test_absolute_memory_operand(self):
+        image = assemble("""
+        .export main
+        main:
+            ld32 r1, [0x1000]
+            st32 [0x2000], r1
+            halt
+        """)
+        ops = text_ops(image)
+        assert ops == [Op.MOVI, Op.LD32, Op.MOVI, Op.ST32, Op.HALT]
+
+    def test_negative_displacement(self):
+        image = assemble("""
+        .export main
+        main:
+            ld32 r1, [fp-8]
+            halt
+        """)
+        load = decode(image.text, 0)
+        assert load.imm == 0xFFFFFFF8
+
+    def test_port_operands(self):
+        image = assemble("""
+        .export main
+        main:
+            in32 r1, (r2+4)
+            out8 (r2+0x10), r3
+            halt
+        """)
+        in_instr = decode(image.text, 0)
+        assert in_instr.op == Op.IN32 and in_instr.imm == 4
+        out_instr = decode(image.text, 8)
+        assert out_instr.op == Op.OUT8 and out_instr.imm == 0x10
+
+    def test_push_pop_multiple(self):
+        image = assemble("""
+        .export main
+        main:
+            push r1, r2, r3
+            pop r3, r2, r1
+            halt
+        """)
+        assert text_ops(image) == [Op.PUSH] * 3 + [Op.POP] * 3 + [Op.HALT]
+
+    def test_two_operand_alu(self):
+        image = assemble("""
+        .export main
+        main:
+            add r1, 4
+            sub r1, r2
+            halt
+        """)
+        add = decode(image.text, 0)
+        assert add.a == 1 and add.b == 1 and add.imm == 4
+
+    def test_swapped_branches(self):
+        image = assemble("""
+        .export main
+        main:
+            bgt r1, r2, main
+            ble r1, r2, main
+            halt
+        """)
+        first = decode(image.text, 0)
+        assert first.op == Op.BLT and first.a == 2 and first.b == 1
+
+    def test_bz_bnz(self):
+        image = assemble("""
+        .export main
+        main:
+            bz r1, main
+            bnz r2, main
+            halt
+        """)
+        ops = text_ops(image)
+        assert ops == [Op.MOVI, Op.BEQ, Op.MOVI, Op.BNE, Op.HALT]
+
+
+class TestAssemblyErrors:
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError):
+            assemble("a:\n nop\na:\n nop")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AsmError, match="undefined symbol"):
+            assemble("main:\n jmp nowhere")
+
+    def test_undeclared_import(self):
+        with pytest.raises(AsmError, match="undeclared import"):
+            assemble("main:\n call @Nothing")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError, match="unknown mnemonic"):
+            assemble("main:\n frobnicate r1")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AsmError, match="outside .text"):
+            assemble(".data\n nop")
+
+    def test_word_in_text_section(self):
+        with pytest.raises(AsmError):
+            assemble(".text\n .word 5")
+
+    def test_bad_register_count(self):
+        with pytest.raises(AsmError):
+            assemble("main:\n mov r1")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AsmError, match="line 3"):
+            assemble("main:\n nop\n frobnicate r1")
+
+    def test_subtract_across_sections(self):
+        with pytest.raises(AsmError):
+            assemble("""
+            main:
+                movi r1, main - other
+                halt
+            .data
+            other: .word 0
+            """)
+
+    def test_circular_equ(self):
+        with pytest.raises(AsmError, match="circular"):
+            assemble(".equ A, B\n.equ B, A\nmain:\n movi r1, A")
+
+
+class TestBinFmt:
+    def _sample(self):
+        return assemble("""
+        .import OsAlloc
+        .import OsLog
+        .export DriverEntry
+        .export helper
+        DriverEntry:
+            call helper
+            call @OsLog
+            ret
+        helper:
+            movi r1, message
+            ret
+        .data
+        message:
+            .asciz "hello driver"
+        """)
+
+    def test_roundtrip(self):
+        image = self._sample()
+        blob = image.to_bytes()
+        back = DrvImage.from_bytes(blob)
+        assert back.text == image.text
+        assert back.data == image.data
+        assert back.entry == image.entry
+        assert [i.name for i in back.imports] == ["OsAlloc", "OsLog"]
+        assert back.export_offset("helper") == image.export_offset("helper")
+        assert len(back.relocs) == len(image.relocs)
+
+    def test_file_and_code_size(self):
+        image = self._sample()
+        assert image.code_size == len(image.text)
+        assert image.file_size == len(image.to_bytes())
+        assert image.file_size > image.code_size
+
+    def test_bad_magic(self):
+        blob = bytearray(self._sample().to_bytes())
+        blob[:4] = b"XXXX"
+        with pytest.raises(BinFmtError, match="magic"):
+            DrvImage.from_bytes(bytes(blob))
+
+    def test_truncated(self):
+        blob = self._sample().to_bytes()
+        with pytest.raises(BinFmtError):
+            DrvImage.from_bytes(blob[:20])
+
+    def test_import_lookup(self):
+        image = self._sample()
+        assert image.import_index("OsLog") == 1
+        with pytest.raises(KeyError):
+            image.import_index("Missing")
+
+    def test_validation_rejects_bad_reloc(self):
+        image = self._sample()
+        from repro.asm.binfmt import Reloc
+        image.relocs.append(Reloc(RelocKind.IMPORT, 4, 99))
+        with pytest.raises(BinFmtError):
+            image.validate()
+
+
+class TestDisasm:
+    def test_disassemble_all(self):
+        image = assemble("""
+        .export main
+        main:
+            movi r1, 1
+            add r2, r1, r1
+            halt
+        """)
+        lines = list(disassemble_image(image))
+        assert len(lines) == 3
+        assert "main:" in lines[0][2]
+        assert "halt" in lines[2][2]
+
+    def test_static_call_targets(self):
+        image = assemble("""
+        .export DriverEntry
+        DriverEntry:
+            call helper
+            movi r1, handler
+            ret
+        helper:
+            ret
+        handler:
+            ret
+        """)
+        targets = static_call_targets(image)
+        assert image.export_offset("DriverEntry") in targets
+        assert len(targets) == 3

@@ -1,0 +1,275 @@
+"""Unit tests for the NIC device models' register interfaces (driving the
+hardware directly, no driver involved)."""
+
+import struct
+
+import pytest
+
+from repro.hw import (
+    Ne2000Device,
+    PcnetDevice,
+    Rtl8139Device,
+    Smc91c111Device,
+)
+from repro.hw import ne2000 as NE
+from repro.hw import pcnet as PC
+from repro.hw import rtl8139 as RT
+from repro.hw import smc91c111 as SMC
+from repro.net.medium import Medium
+from repro.vm import Machine
+
+MAC = b"\x52\x54\x00\x01\x02\x03"
+
+
+def make(device_cls):
+    machine = Machine()
+    medium = Medium()
+    device = device_cls(MAC, medium=medium, bus=machine.bus)
+    medium.attach(device)
+    irqs = []
+    device.irq_callback = lambda: irqs.append(1)
+    return machine, medium, device, irqs
+
+
+class TestNe2000:
+    def test_reset_via_port(self):
+        _m, _med, dev, _irqs = make(Ne2000Device)
+        dev.io_read(NE.REG_RESET, 1)
+        assert dev.isr & 0x80
+
+    def test_mac_in_page1(self):
+        _m, _med, dev, _irqs = make(Ne2000Device)
+        dev.io_write(NE.REG_CR, 1, 0x40)  # page 1
+        mac = bytes(dev.io_read(NE.REG_CR + 1 + i, 1) for i in range(6))
+        assert mac == MAC
+
+    def test_remote_dma_roundtrip(self):
+        _m, _med, dev, _irqs = make(Ne2000Device)
+        address = NE.MEM_START_PAGE * 256
+        dev.io_write(0x08, 1, address & 0xFF)
+        dev.io_write(0x09, 1, address >> 8)
+        dev.io_write(0x0A, 1, 8)
+        dev.io_write(0x0B, 1, 0)
+        dev.io_write(NE.REG_CR, 1, NE.CR_STA | NE.CR_RD_WRITE)
+        dev.io_write(NE.REG_DATA, 4, 0xDDCCBBAA)
+        dev.io_write(NE.REG_DATA, 4, 0x44332211)
+        # read back
+        dev.io_write(0x08, 1, address & 0xFF)
+        dev.io_write(0x09, 1, address >> 8)
+        dev.io_write(0x0A, 1, 8)
+        dev.io_write(0x0B, 1, 0)
+        dev.io_write(NE.REG_CR, 1, NE.CR_STA | NE.CR_RD_READ)
+        assert dev.io_read(NE.REG_DATA, 4) == 0xDDCCBBAA
+        assert dev.io_read(NE.REG_DATA, 4) == 0x44332211
+
+    def test_transmit_from_internal_memory(self):
+        _m, medium, dev, irqs = make(Ne2000Device)
+        dev.io_write(NE.REG_CR, 1, NE.CR_STA)
+        frame = b"\xff" * 6 + MAC + b"\x08\x00" + b"p" * 50
+        # remote-DMA the frame to the tx page
+        dev.rsar = NE.MEM_START_PAGE * 256
+        dev.rbcr = len(frame)
+        for byte in frame:
+            dev._remote_write(byte, 1)
+        dev.io_write(0x04, 1, NE.MEM_START_PAGE)      # TPSR
+        dev.io_write(0x05, 1, len(frame) & 0xFF)
+        dev.io_write(0x06, 1, len(frame) >> 8)
+        dev.io_write(0x0F, 1, NE.ISR_PTX)             # unmask TX
+        dev.io_write(NE.REG_CR, 1, NE.CR_STA | NE.CR_TXP)
+        assert medium.transmitted == [frame]
+        assert dev.isr & NE.ISR_PTX
+        assert irqs
+
+    def test_rx_ring_header(self):
+        _m, medium, dev, _irqs = make(Ne2000Device)
+        dev.io_write(NE.REG_CR, 1, NE.CR_STA)
+        dev.io_write(0x0C, 1, NE.RCR_AB)  # accept broadcast
+        frame = b"\xff" * 6 + MAC + b"\x08\x00" + b"q" * 50
+        medium.inject(frame)
+        start = dev.curr  # advanced past the packet
+        index = dev._mem_index(NE.MEM_START_PAGE * 256)
+        header = bytes(dev.mem[index:index + 4])
+        assert header[0] == 0x01                       # RX OK
+        total = header[2] | (header[3] << 8)
+        assert total == len(frame) + 4
+
+
+class TestRtl8139:
+    def test_mac_readable_writable(self):
+        _m, _med, dev, _irqs = make(Rtl8139Device)
+        assert dev.io_read(0, 4) == int.from_bytes(MAC[:4], "little")
+        dev.io_write(0, 1, 0xAB)
+        assert dev.mac[0] == 0xAB
+
+    def test_reset_bit_self_clears(self):
+        _m, _med, dev, _irqs = make(Rtl8139Device)
+        dev.io_write(0x37, 1, RT.CR_RST)
+        assert dev.io_read(0x37, 1) & RT.CR_RST == 0
+
+    def test_dma_transmit(self):
+        machine, medium, dev, irqs = make(Rtl8139Device)
+        frame = b"\xff" * 6 + MAC + b"\x08\x00" + b"r" * 50
+        machine.memory.write_bytes(0x00600000, frame)
+        dev.io_write(0x37, 1, RT.CR_TE | RT.CR_RE)
+        dev.io_write(0x3C, 2, RT.ISR_TOK)
+        dev.io_write(0x20, 4, 0x00600000)  # TSAD0
+        dev.io_write(0x10, 4, len(frame))  # TSD0: kick
+        assert medium.transmitted == [frame]
+        assert dev.io_read(0x10, 4) & RT.TSD_TOK
+        assert irqs
+
+    def test_rx_ring_dma_record(self):
+        machine, medium, dev, _irqs = make(Rtl8139Device)
+        dev.io_write(0x30, 4, 0x00610000)  # RBSTART
+        dev.io_write(0x44, 4, RT.RCR_AB | RT.RCR_APM)
+        dev.io_write(0x37, 1, RT.CR_RE)
+        frame = b"\xff" * 6 + MAC + b"\x08\x00" + b"s" * 50
+        medium.inject(frame)
+        status, length = struct.unpack_from(
+            "<HH", machine.memory.read_bytes(0x00610000, 4))
+        assert status & 1
+        assert length == len(frame) + 4
+        assert machine.memory.read_bytes(0x00610004, len(frame)) == frame
+        assert dev.io_read(0x3A, 2) > 0  # CBR advanced
+
+    def test_config_lock(self):
+        _m, _med, dev, _irqs = make(Rtl8139Device)
+        dev.io_write(0x59, 1, RT.CONFIG3_MAGIC)   # locked: ignored
+        assert not dev.wol_enabled
+        dev.io_write(0x50, 1, RT.CFG9346_UNLOCK)
+        dev.io_write(0x59, 1, RT.CONFIG3_MAGIC)
+        assert dev.wol_enabled
+
+
+class TestPcnet:
+    def _init_block(self, machine, base=0x00620000):
+        rdra, tdra = 0x00621000, 0x00622000
+        block = struct.pack("<HHHH", 0, 2, 2, 0) + MAC + b"\0\0" \
+            + b"\0" * 8 + struct.pack("<II", rdra, tdra)
+        machine.memory.write_bytes(base, block)
+        # one rx descriptor owned by the device
+        machine.memory.write_bytes(rdra, struct.pack(
+            "<IIII", 0x00623000, 1536, PC.DESC_OWN, 0))
+        machine.memory.write_bytes(rdra + 16, struct.pack(
+            "<IIII", 0x00624000, 1536, PC.DESC_OWN, 0))
+        return base, rdra, tdra
+
+    def test_rap_rdp_indirection(self):
+        _m, _med, dev, _irqs = make(PcnetDevice)
+        dev.io_write(PC.REG_RAP, 2, 15)
+        dev.io_write(PC.REG_RDP, 2, PC.CSR15_PROM)
+        assert dev.promiscuous
+        dev.io_write(PC.REG_RAP, 2, 0)
+        assert dev.io_read(PC.REG_RDP, 2) & PC.CSR0_STOP
+
+    def test_init_block_load(self):
+        machine, _med, dev, _irqs = make(PcnetDevice)
+        base, rdra, tdra = self._init_block(machine)
+        dev.io_write(PC.REG_RAP, 2, 1)
+        dev.io_write(PC.REG_RDP, 2, base & 0xFFFF)
+        dev.io_write(PC.REG_RAP, 2, 2)
+        dev.io_write(PC.REG_RDP, 2, base >> 16)
+        dev.io_write(PC.REG_RAP, 2, 0)
+        dev.io_write(PC.REG_RDP, 2, PC.CSR0_INIT)
+        assert dev.csr[0] & PC.CSR0_IDON
+        assert dev.rdra == rdra and dev.tdra == tdra
+        assert dev.rlen == 2
+
+    def test_rx_into_descriptor(self):
+        machine, medium, dev, irqs = make(PcnetDevice)
+        base, rdra, _tdra = self._init_block(machine)
+        dev.io_write(PC.REG_RAP, 2, 1)
+        dev.io_write(PC.REG_RDP, 2, base & 0xFFFF)
+        dev.io_write(PC.REG_RAP, 2, 2)
+        dev.io_write(PC.REG_RDP, 2, base >> 16)
+        dev.io_write(PC.REG_RAP, 2, 0)
+        dev.io_write(PC.REG_RDP, 2,
+                     PC.CSR0_INIT | PC.CSR0_STRT | PC.CSR0_IENA)
+        frame = b"\xff" * 6 + MAC + b"\x08\x00" + b"t" * 50
+        medium.inject(frame)
+        buf, _len, status, msg = struct.unpack(
+            "<IIII", machine.memory.read_bytes(rdra, 16))
+        assert not status & PC.DESC_OWN      # returned to host
+        assert msg == len(frame)
+        assert machine.memory.read_bytes(buf, len(frame)) == frame
+        assert irqs
+
+    def test_multicast_hash_via_csr8_11(self):
+        _m, _med, dev, _irqs = make(PcnetDevice)
+        dev.io_write(PC.REG_RAP, 2, 8)
+        dev.io_write(PC.REG_RDP, 2, 0x1234)
+        assert dev.multicast_hash[0] == 0x34
+        assert dev.multicast_hash[1] == 0x12
+
+
+class TestSmc91c111:
+    def test_bank_switching(self):
+        _m, _med, dev, _irqs = make(Smc91c111Device)
+        dev.mmio_write(SMC.REG_BANK_SELECT, 2, 3)
+        assert dev.mmio_read(0x0A, 2) == 0x0091   # bank3 REVISION
+        dev.mmio_write(SMC.REG_BANK_SELECT, 2, 1)
+        assert dev.mmio_read(0x04, 1) == MAC[0]   # bank1 IAR0
+
+    def test_mmu_alloc_and_tx(self):
+        _m, medium, dev, irqs = make(Smc91c111Device)
+        dev.mmio_write(SMC.REG_BANK_SELECT, 2, 0)
+        dev.mmio_write(0x00, 2, SMC.TCR_TXENA)
+        dev.mmio_write(SMC.REG_BANK_SELECT, 2, 2)
+        dev.mmio_write(0x0D, 1, SMC.INT_TX)
+        dev.mmio_write(0x00, 2, SMC.MMU_ALLOC)
+        packet = dev.mmio_read(0x03, 1)
+        assert not packet & SMC.ARR_FAILED
+        dev.mmio_write(0x02, 1, packet)
+        dev.mmio_write(0x06, 2, SMC.PTR_AUTO_INCR)
+        frame = b"\xff" * 6 + MAC + b"\x08\x00" + b"u" * 48
+        dev.mmio_write(0x08, 2, 0)                   # status word
+        dev.mmio_write(0x08, 2, len(frame) + 6)      # byte count
+        for i in range(0, len(frame), 2):
+            dev.mmio_write(0x08, 2,
+                           frame[i] | (frame[i + 1] << 8))
+        dev.mmio_write(0x00, 2, SMC.MMU_ENQUEUE_TX)
+        assert medium.transmitted == [frame]
+        assert dev.int_status & SMC.INT_TX
+        assert irqs
+
+    def test_rx_fifo_flow(self):
+        _m, medium, dev, _irqs = make(Smc91c111Device)
+        dev.mmio_write(SMC.REG_BANK_SELECT, 2, 0)
+        dev.mmio_write(0x04, 2, SMC.RCR_RXEN)
+        frame = b"\xff" * 6 + MAC + b"\x08\x00" + b"v" * 48
+        medium.inject(frame)
+        dev.mmio_write(SMC.REG_BANK_SELECT, 2, 2)
+        head = dev.mmio_read(0x05, 1)
+        assert not head & SMC.FIFO_EMPTY
+        dev.mmio_write(0x06, 2, SMC.PTR_RCV | SMC.PTR_AUTO_INCR)
+        _status = dev.mmio_read(0x08, 2)
+        count = dev.mmio_read(0x08, 2)
+        assert count == len(frame) + 6
+        payload = bytearray()
+        for _ in range(len(frame) // 2):
+            half = dev.mmio_read(0x08, 2)
+            payload += bytes((half & 0xFF, half >> 8))
+        assert bytes(payload) == frame
+        dev.mmio_write(0x00, 2, SMC.MMU_REMOVE_RELEASE)
+        assert dev.mmio_read(0x05, 1) & SMC.FIFO_EMPTY
+        assert not dev.int_status & SMC.INT_RCV
+
+    def test_alloc_exhaustion(self):
+        _m, _med, dev, _irqs = make(Smc91c111Device)
+        dev.mmio_write(SMC.REG_BANK_SELECT, 2, 2)
+        for _ in range(SMC.NUM_PACKETS):
+            dev.mmio_write(0x00, 2, SMC.MMU_ALLOC)
+            assert not dev.mmio_read(0x03, 1) & SMC.ARR_FAILED
+        dev.mmio_write(0x00, 2, SMC.MMU_ALLOC)
+        assert dev.mmio_read(0x03, 1) & SMC.ARR_FAILED
+
+
+class TestSharedFilter:
+    @pytest.mark.parametrize("device_cls", [Ne2000Device, Rtl8139Device,
+                                            PcnetDevice, Smc91c111Device])
+    def test_filter_rejects_when_disabled(self, device_cls):
+        _m, medium, dev, _irqs = make(device_cls)
+        frame = b"\xff" * 6 + MAC + b"\x08\x00" + b"w" * 50
+        medium.inject(frame)
+        assert dev.stats["rx_frames"] == 0
+        assert dev.stats["rx_dropped"] == 1

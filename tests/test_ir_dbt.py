@@ -1,0 +1,251 @@
+"""Tests for the IR, the DBT, and differential CPU-vs-IR execution."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.dbt import Translator, translate_block
+from repro.ir import IrEnv, TranslationBlock, format_block, run_block
+from repro.ir import nodes as N
+from repro.isa.registers import REG_SP
+from repro.layout import RETURN_TO_OS, STACK_TOP, TEXT_BASE, page_align
+from repro.vm import Machine
+
+
+def load(source):
+    """Assemble + map at TEXT_BASE with relocations applied; returns machine."""
+    image = assemble(source)
+    machine = Machine()
+    machine.memory.map_region(TEXT_BASE, page_align(max(len(image.text), 1)),
+                              "text")
+    text = bytearray(image.text)
+    for reloc in image.relocs:
+        if reloc.kind.name == "TEXT":
+            old = int.from_bytes(text[reloc.site:reloc.site + 4], "little")
+            text[reloc.site:reloc.site + 4] = \
+                ((old + TEXT_BASE) & 0xFFFFFFFF).to_bytes(4, "little")
+    machine.memory.write_bytes(TEXT_BASE, bytes(text))
+    return machine
+
+
+def reader(machine):
+    return lambda addr, size: machine.memory.read_bytes(addr, size)
+
+
+class TestTranslation:
+    def test_block_ends_at_branch(self):
+        machine = load("""
+        .export main
+        main:
+            movi r1, 1
+            movi r2, 2
+            beq r1, r2, main
+            halt
+        """)
+        block = translate_block(reader(machine), TEXT_BASE)
+        assert len(block.instr_addrs) == 3
+        assert isinstance(block.terminator, N.IrCondJump)
+        assert block.terminator.fallthrough == TEXT_BASE + 24
+
+    def test_block_ends_at_call(self):
+        machine = load("""
+        .export main
+        main:
+            movi r1, 1
+            call main
+        """)
+        block = translate_block(reader(machine), TEXT_BASE)
+        term = block.terminator
+        assert isinstance(term, N.IrCall)
+        assert not term.indirect
+        assert term.target == TEXT_BASE
+
+    def test_ret_emits_stack_cleanup(self):
+        machine = load("""
+        .export main
+        main:
+            ret 8
+        """)
+        block = translate_block(reader(machine), TEXT_BASE)
+        assert isinstance(block.terminator, N.IrRet)
+        assert block.terminator.cleanup == 8
+
+    def test_static_successors(self):
+        machine = load("""
+        .export main
+        main:
+            movi r1, 0
+            bz r1, main
+            halt
+        """)
+        block = translate_block(reader(machine), TEXT_BASE)
+        succs = block.static_successors()
+        assert TEXT_BASE in succs and len(succs) == 2
+
+    def test_cache_hit(self):
+        machine = load(".export main\nmain:\n halt")
+        translator = Translator(reader(machine))
+        first = translator.get(TEXT_BASE)
+        second = translator.get(TEXT_BASE)
+        assert first is second
+
+    def test_cache_invalidation_on_code_change(self):
+        machine = load(".export main\nmain:\n halt")
+        translator = Translator(reader(machine))
+        first = translator.get(TEXT_BASE)
+        from repro.isa import Instruction, Op, encode
+        machine.memory.write_bytes(TEXT_BASE, encode(Instruction(Op.NOP))
+                                   + encode(Instruction(Op.HALT)))
+        second = translator.get(TEXT_BASE)
+        assert second is not first
+        assert len(second.instr_addrs) == 2
+
+    def test_printer_smoke(self):
+        machine = load("""
+        .export main
+        main:
+            movi r1, 5
+            ld32 r2, [r1+4]
+            st8 [r1+0], r2
+            in16 r3, (r1+2)
+            out32 (r1+0), r3
+            push r2
+            pop r3
+            not r4, r3
+            neg r5, r4
+            add r6, r5, 1
+            bne r6, r1, main
+            halt
+        """)
+        text = format_block(translate_block(reader(machine), TEXT_BASE))
+        for keyword in ("const", "load32", "store8", "in16", "out32",
+                        "icmp.ne", "condjump"):
+            assert keyword in text
+
+
+DIFFERENTIAL_PROGRAMS = [
+    # Each program ends in HALT; register files are compared afterwards.
+    """
+    .export main
+    main:
+        movi r1, 0xDEADBEEF
+        movi r2, 0x12345678
+        add r3, r1, r2
+        sub r4, r1, r2
+        xor r5, r1, r2
+        and r6, r1, r2
+        or r7, r1, r2
+        mul r8, r1, r2
+        halt
+    """,
+    """
+    .export main
+    main:
+        movi r1, 0x80000001
+        shr r2, r1, 1
+        sar r3, r1, 1
+        shl r4, r1, 3
+        not r5, r1
+        neg r6, r1
+        movi r7, 13
+        divu r8, r1, r7
+        remu r9, r1, r7
+        halt
+    """,
+    """
+    .export main
+    main:
+        movi r1, 0
+        movi r2, 0
+    loop:
+        add r2, r2, r1
+        add r1, r1, 1
+        blt r1, 10, loop
+        halt
+    """,
+    """
+    .export main
+    main:
+        movi r1, 0x00600000
+        movi r2, 0xCAFEBABE
+        st32 [r1+0], r2
+        ld8 r3, [r1+0]
+        ld16 r4, [r1+2]
+        ld32 r5, [r1+0]
+        push r5
+        push r3
+        pop r6
+        pop r7
+        halt
+    """,
+    """
+    .export main
+    main:
+        movi r1, 3
+        push r1
+        call square
+        mov r9, r0
+        halt
+    square:
+        push fp
+        mov fp, sp
+        ld32 r1, [fp+8]
+        mul r0, r1, r1
+        pop fp
+        ret 4
+    """,
+]
+
+
+class TestDifferentialExecution:
+    """The IR must have exactly the concrete CPU's semantics."""
+
+    @pytest.mark.parametrize("source", DIFFERENTIAL_PROGRAMS)
+    def test_cpu_vs_ir(self, source):
+        # Run on the concrete CPU.
+        cpu_machine = load(source)
+        cpu_machine.cpu.pc = TEXT_BASE
+        cpu_machine.cpu.regs[REG_SP] = STACK_TOP
+        cpu_machine.cpu.run(max_steps=100_000)
+        # Run through DBT + IR interpreter.
+        ir_machine = load(source)
+        env = IrEnv.for_machine(ir_machine)
+        env.regs[REG_SP] = STACK_TOP
+        translator = Translator(reader(ir_machine))
+        pc = TEXT_BASE
+        for _ in range(100_000):
+            result = run_block(translator.get(pc), env)
+            if result.kind == "halt":
+                break
+            pc = result.target
+        else:
+            pytest.fail("IR execution did not halt")
+        assert env.regs == cpu_machine.cpu.regs
+
+    def test_memory_side_effects_match(self):
+        source = DIFFERENTIAL_PROGRAMS[3]
+        cpu_machine = load(source)
+        cpu_machine.cpu.pc = TEXT_BASE
+        cpu_machine.cpu.regs[REG_SP] = STACK_TOP
+        cpu_machine.cpu.run(max_steps=10_000)
+
+        ir_machine = load(source)
+        env = IrEnv.for_machine(ir_machine)
+        env.regs[REG_SP] = STACK_TOP
+        translator = Translator(reader(ir_machine))
+        pc = TEXT_BASE
+        while True:
+            result = run_block(translator.get(pc), env)
+            if result.kind == "halt":
+                break
+            pc = result.target
+        assert (ir_machine.memory.read_bytes(0x00600000, 8)
+                == cpu_machine.memory.read_bytes(0x00600000, 8))
+
+
+class TestBlockHelpers:
+    def test_contains_and_end(self):
+        block = TranslationBlock(pc=0x100, size=16,
+                                 instr_addrs=[0x100, 0x108])
+        assert block.contains(0x108)
+        assert not block.contains(0x110)
+        assert block.end_pc == 0x110

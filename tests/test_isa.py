@@ -1,0 +1,116 @@
+"""Unit tests for the R32 ISA encoding/decoding layer."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.isa import (
+    INSTR_SIZE,
+    NO_REG,
+    Instruction,
+    Op,
+    decode,
+    decode_stream,
+    encode,
+    reg_name,
+    reg_number,
+)
+
+
+class TestRegisters:
+    def test_names_roundtrip(self):
+        for i in range(16):
+            assert reg_number(reg_name(i)) == i
+
+    def test_aliases(self):
+        assert reg_number("sp") == 13
+        assert reg_number("fp") == 14
+        assert reg_number("at") == 12
+        assert reg_number("rv") == 0
+
+    def test_case_insensitive(self):
+        assert reg_number("SP") == 13
+        assert reg_number("R7") == 7
+
+    def test_unknown_register(self):
+        from repro.errors import AsmError
+        with pytest.raises(AsmError):
+            reg_number("r16")
+
+    def test_bad_number(self):
+        with pytest.raises(ValueError):
+            reg_name(16)
+
+
+class TestEncoding:
+    def test_roundtrip_all_opcodes(self):
+        samples = [
+            Instruction(Op.NOP),
+            Instruction(Op.MOV, a=1, b=2),
+            Instruction(Op.MOVI, a=3, imm=0xDEADBEEF),
+            Instruction(Op.LD32, a=4, b=5, imm=0x10),
+            Instruction(Op.ST8, a=6, b=7, imm=0xFFFFFFFC),
+            Instruction(Op.ADD, a=1, b=2, c=3),
+            Instruction(Op.ADD, a=1, b=2, c=NO_REG, imm=42),
+            Instruction(Op.BEQ, a=1, b=2, imm=0x400100),
+            Instruction(Op.CALL, imm=0x400200),
+            Instruction(Op.RET, imm=8),
+            Instruction(Op.IN32, a=1, b=2, imm=4),
+            Instruction(Op.OUT16, a=3, b=4, imm=0),
+            Instruction(Op.HALT),
+        ]
+        for instr in samples:
+            blob = encode(instr)
+            assert len(blob) == INSTR_SIZE
+            decoded = decode(blob)
+            assert decoded.op == instr.op
+            assert decoded.imm == instr.imm & 0xFFFFFFFF
+
+    def test_decode_bad_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(b"\xEE" + b"\0" * 7)
+
+    def test_decode_truncated(self):
+        with pytest.raises(DecodeError):
+            decode(b"\x01\x00")
+
+    def test_decode_bad_register_field(self):
+        blob = encode(Instruction(Op.MOV, a=1, b=2))
+        bad = bytes([blob[0], 0x20]) + blob[2:]
+        with pytest.raises(DecodeError):
+            decode(bad)
+
+    def test_imm_operand_flag(self):
+        imm_form = Instruction(Op.ADD, a=1, b=2, c=NO_REG, imm=5)
+        reg_form = Instruction(Op.ADD, a=1, b=2, c=3)
+        assert imm_form.uses_imm_operand()
+        assert not reg_form.uses_imm_operand()
+        assert not Instruction(Op.MOVI, a=1, imm=5).uses_imm_operand()
+
+    def test_decode_stream(self):
+        blob = encode(Instruction(Op.NOP)) + encode(Instruction(Op.HALT))
+        pairs = list(decode_stream(blob, base=0x400000))
+        assert [(a, i.op) for a, i in pairs] == [
+            (0x400000, Op.NOP), (0x400008, Op.HALT)]
+
+    def test_text_rendering_smoke(self):
+        samples = [
+            Instruction(Op.MOV, a=1, b=2),
+            Instruction(Op.MOVI, a=3, imm=7),
+            Instruction(Op.LD16, a=4, b=5, imm=2),
+            Instruction(Op.ST32, a=6, b=7, imm=0),
+            Instruction(Op.ADD, a=1, b=2, c=NO_REG, imm=9),
+            Instruction(Op.SUB, a=1, b=2, c=3),
+            Instruction(Op.BNE, a=1, b=2, imm=0x10),
+            Instruction(Op.JMP, imm=0x20),
+            Instruction(Op.CALLR, a=9),
+            Instruction(Op.RET, imm=12),
+            Instruction(Op.IN8, a=0, b=1, imm=3),
+            Instruction(Op.OUT32, a=2, b=3, imm=1),
+            Instruction(Op.PUSH, a=5),
+            Instruction(Op.POP, a=6),
+            Instruction(Op.NOT, a=1, b=1),
+            Instruction(Op.HALT),
+        ]
+        for instr in samples:
+            text = instr.text()
+            assert instr.op.name.lower() in text

@@ -1,0 +1,148 @@
+"""End-to-end pipeline tests: binary -> RevNIC -> synthesis -> target OS.
+
+These are the Table 2 style functional-equivalence checks as regular
+tests, parametrized over the corpus, with I/O-trace comparison between the
+original and the synthesized driver.
+"""
+
+import pytest
+
+from repro.drivers import DRIVERS, build_driver, device_class
+from repro.eval.runner import get_cache
+from repro.guestos.harness import DriverHarness
+from repro.guestos.structures import NdisStatus
+from repro.layout import HEAP_BASE
+from repro.net import EthernetFrame, EtherType
+from repro.targetos import KitOs, LinSim, WinSim
+from repro.templates import NicTemplate
+
+MAC = b"\x52\x54\x00\xAA\xBB\xCC"
+ALL = sorted(DRIVERS)
+
+
+@pytest.fixture(scope="module", params=ALL)
+def run(request):
+    return get_cache().run(request.param)
+
+
+def make_template(run, os_cls=WinSim):
+    target = os_cls(device_class(run.name), mac=MAC)
+    template = NicTemplate(run.synthesized, target, original_image=run.image)
+    template.initialize()
+    return template, target
+
+
+def frame(dst=b"\xff" * 6, payload=b"x" * 64):
+    return EthernetFrame(dst=dst, src=b"\x02" * 6,
+                         ethertype=EtherType.IPV4,
+                         payload=payload).to_bytes()
+
+
+class TestReverseEngineering:
+    def test_coverage_above_80_percent(self, run):
+        assert run.result.coverage_fraction > 0.80
+
+    def test_all_entry_points_discovered(self, run):
+        expected = {"initialize", "send", "isr", "set_information",
+                    "query_information", "reset", "halt"}
+        assert expected <= set(run.result.entry_points)
+
+    def test_entry_points_synthesized(self, run):
+        assert set(run.result.entry_points) \
+            <= set(run.synthesized.entry_points)
+
+    def test_c_source_generated(self, run):
+        source = run.synthesized.c_source
+        assert "goto" in source
+        assert "revnic_runtime.h" in source
+        # every recovered function appears in the translation unit
+        for function in run.synthesized.functions.values():
+            assert function.name.split("_")[-1] in source or \
+                function.name in source
+
+    def test_report_consistency(self, run):
+        report = run.synthesized.report
+        assert report.function_count == len(run.synthesized.functions)
+        assert report.fully_synthesized_count + report.manual_count \
+            == report.function_count
+        assert 0.4 < report.automated_fraction <= 1.0
+
+
+class TestSynthesizedFunctional:
+    def test_send_receive_on_winsim(self, run):
+        template, target = make_template(run)
+        tx = frame()
+        assert template.send(tx) == NdisStatus.SUCCESS
+        assert target.medium.transmitted == [tx]
+        rx = frame(dst=MAC, payload=b"y" * 99)
+        assert template.inject_rx(rx) == [rx]
+
+    def test_send_receive_on_linsim(self, run):
+        template, target = make_template(run, LinSim)
+        tx = frame()
+        assert template.send(tx) == NdisStatus.SUCCESS
+        rx = frame(dst=MAC)
+        assert template.inject_rx(rx) == [rx]
+
+    def test_send_on_kitos(self, run):
+        template, target = make_template(run, KitOs)
+        tx = frame()
+        assert template.send(tx) == NdisStatus.SUCCESS
+        assert target.medium.transmitted == [tx]
+
+    def test_error_path_preserved(self, run):
+        """The synthesized driver rejects oversized packets just like the
+        original (the recovered error paths work)."""
+        template, target = make_template(run)
+        status = template.send(b"z" * 1600)
+        assert status in (NdisStatus.INVALID_LENGTH, NdisStatus.FAILURE)
+        assert target.medium.transmitted == []
+
+    def test_shutdown_stops_device(self, run):
+        template, target = make_template(run)
+        template.shutdown()
+        assert not target.device.rx_enabled
+
+
+def _pointerish(value):
+    return isinstance(value, int) and value >= HEAP_BASE
+
+
+def _device_trace(machine_bus, records):
+    machine_bus.observer = lambda *args: records.append(args)
+
+
+class TestIoTraceEquivalence:
+    """The paper's correctness methodology: run original and synthesized
+    drivers on the same workload and compare hardware-I/O traces."""
+
+    def test_send_io_sequence_matches(self, run):
+        # Original on the source OS.
+        original = DriverHarness(build_driver(run.name),
+                                 device_class(run.name), mac=MAC)
+        original_trace = []
+        _device_trace(original.machine.bus, original_trace)
+        original.boot()
+        tx = frame()
+        original.send(tx)
+
+        # Synthesized on the same OS.
+        template, target = make_template(run)
+        synth_trace = []
+        _device_trace(target.machine.bus, synth_trace)
+        # re-run init so both traces include it? No: compare only the send.
+        synth_trace.clear()
+        template.send(tx)
+
+        original_send = original_trace[-len(synth_trace):] \
+            if synth_trace else []
+        assert len(synth_trace) > 0
+        # Compare access kind/address/width/direction exactly; values are
+        # compared except where both sides wrote (differing) heap pointers.
+        tail = original_trace[len(original_trace) - len(synth_trace):]
+        assert len(tail) == len(synth_trace)
+        for (k1, a1, w1, v1, d1), (k2, a2, w2, v2, d2) in \
+                zip(tail, synth_trace):
+            assert (k1, a1, w1, d1) == (k2, a2, w2, d2)
+            if not (_pointerish(v1) and _pointerish(v2)):
+                assert v1 == v2, (hex(a1), v1, v2)

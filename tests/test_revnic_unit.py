@@ -1,0 +1,165 @@
+"""Unit tests for RevNIC's components: heuristics, shell device, wiretap,
+coverage accounting."""
+
+import pytest
+
+from repro.drivers import build_driver
+from repro.hw.base import PciDescriptor
+from repro.layout import TEXT_BASE
+from repro.revnic.coverage import CoverageTracker, static_basic_blocks
+from repro.revnic.heuristics import (
+    BfsStrategy,
+    CoverageDrivenStrategy,
+    DfsStrategy,
+    StateScheduler,
+    make_strategy,
+)
+from repro.revnic.shell_device import ShellDevice
+from repro.symex.state import PathStatus, SymState
+from repro.symex.memory import SymMemory
+
+
+def make_state(pc=0x1000):
+    return SymState(pc=pc, regs=[0] * 16,
+                    memory=SymMemory(lambda a, w: 0))
+
+
+class TestStrategies:
+    def test_factory(self):
+        assert isinstance(make_strategy("coverage"), CoverageDrivenStrategy)
+        assert isinstance(make_strategy("dfs"), DfsStrategy)
+        assert isinstance(make_strategy("bfs"), BfsStrategy)
+        with pytest.raises(ValueError):
+            make_strategy("quantum")
+
+    def test_coverage_prefers_unexecuted_block(self):
+        strategy = CoverageDrivenStrategy()
+        hot, cold = make_state(0xA), make_state(0xB)
+        strategy.on_executed(0xA)
+        strategy.on_executed(0xA)
+        states = [hot, cold]
+        assert states[strategy.pick(states)] is cold
+
+    def test_dfs_picks_newest(self):
+        strategy = DfsStrategy()
+        states = [make_state(1), make_state(2)]
+        assert strategy.pick(states) == 1
+
+    def test_bfs_picks_oldest(self):
+        strategy = BfsStrategy()
+        states = [make_state(1), make_state(2)]
+        assert strategy.pick(states) == 0
+
+
+class TestScheduler:
+    def test_add_and_next(self):
+        scheduler = StateScheduler()
+        state = make_state()
+        scheduler.add(state)
+        assert len(scheduler) == 1
+        assert scheduler.next_state() is state
+        assert scheduler.next_state() is None
+
+    def test_loop_killer_only_kills_suspects(self):
+        scheduler = StateScheduler(loop_kill_threshold=3)
+        # A state that re-executed a block many times but never through a
+        # symbolic back edge (a concrete loop) survives.
+        concrete = make_state(0x10)
+        concrete.block_counts[0x10] = 100
+        scheduler.add(concrete)
+        assert concrete.status == PathStatus.RUNNING
+        # A polling-loop suspect over threshold dies.
+        polling = make_state(0x20)
+        polling.block_counts[0x20] = 5
+        polling.loop_suspects.add(0x20)
+        scheduler.add(polling)
+        assert polling.status == PathStatus.KILLED
+        assert scheduler.killed_loops == 1
+
+    def test_state_cap_evicts_deepest(self):
+        scheduler = StateScheduler(max_states=2)
+        shallow = make_state(1)
+        mid = make_state(2)
+        deep = make_state(3)
+        deep.depth = 9
+        scheduler.add(shallow)
+        scheduler.add(deep)
+        scheduler.add(mid)
+        assert deep.status == PathStatus.KILLED
+        assert len(scheduler) == 2
+
+    def test_kill_all_keeps_chosen(self):
+        scheduler = StateScheduler()
+        keep = make_state(1)
+        drop = make_state(2)
+        scheduler.add(keep)
+        scheduler.add(drop)
+        scheduler.kill_all(keep=keep)
+        assert keep.status == PathStatus.RUNNING
+        assert drop.status == PathStatus.KILLED
+        assert len(scheduler) == 1
+
+    def test_non_running_not_queued(self):
+        scheduler = StateScheduler()
+        state = make_state()
+        state.status = PathStatus.ERROR
+        scheduler.add(state)
+        assert len(scheduler) == 0
+
+
+class TestShellDevice:
+    def test_requires_descriptor(self):
+        with pytest.raises(TypeError):
+            ShellDevice("not-a-descriptor")
+
+    def test_dma_tracking(self):
+        shell = ShellDevice(PciDescriptor(vendor_id=1, device_id=2,
+                                          io_base=0x300, io_size=0x20))
+        shell.register_dma_region(0x600000, 0x1000)
+        assert shell.is_dma_address(0x600000)
+        assert shell.is_dma_address(0x600FFF)
+        assert not shell.is_dma_address(0x601000)
+
+
+class TestCoverage:
+    def test_static_blocks_of_real_driver(self):
+        image = build_driver("rtl8029")
+        leaders = static_basic_blocks(image, TEXT_BASE)
+        assert leaders[0] >= TEXT_BASE
+        assert len(leaders) > 50
+        assert all(l % 8 == 0 for l in leaders)
+        assert leaders == sorted(set(leaders))
+
+    def test_tracker_fraction(self):
+        tracker = CoverageTracker(leaders=[0x0, 0x10, 0x20, 0x30])
+        from repro.ir.nodes import TranslationBlock
+        tracker.mark_block(TranslationBlock(pc=0, size=16,
+                                            instr_addrs=[0x0, 0x8]))
+        assert tracker.fraction == 0.25
+        tracker.mark_block(TranslationBlock(pc=0x10, size=8,
+                                            instr_addrs=[0x10]))
+        assert tracker.fraction == 0.5
+        tracker.sample(10, 1.0)
+        assert tracker.timeline == [(10, 1.0, 0.5)]
+
+
+class TestStateTraceChains:
+    def test_fork_freezes_prefix(self):
+        parent = make_state()
+        parent.trace_records.append("a")
+        child = parent.fork()
+        parent.trace_records.append("b")
+        child.trace_records.append("c")
+        assert parent.path_trace() == ["a", "b"]
+        assert child.path_trace() == ["a", "c"]
+
+    def test_nested_forks(self):
+        root = make_state()
+        root.trace_records.append("r1")
+        first = root.fork()
+        first.trace_records.append("f1")
+        second = first.fork()
+        second.trace_records.append("s1")
+        first.trace_records.append("f2")
+        assert second.path_trace() == ["r1", "f1", "s1"]
+        assert first.path_trace() == ["r1", "f1", "f2"]

@@ -1,0 +1,227 @@
+"""Unit tests for the symbolic expression language and solver."""
+
+import pytest
+
+from repro.symex import expr as E
+from repro.symex.solver import Solver
+
+
+class TestExprSimplification:
+    def test_constant_folding(self):
+        assert E.bv_add(2, 3) == 5
+        assert E.bv_sub(2, 3) == (2 - 3) & 0xFFFFFFFF
+        assert E.bv_mul(4, 5) == 20
+        assert E.bv_and(0xFF, 0x0F) == 0x0F
+        assert E.bv_xor(0xFF, 0xFF) == 0
+
+    def test_identities(self):
+        x = E.bv_sym("x")
+        assert E.bv_add(x, 0) is x
+        assert E.bv_and(x, 0) == 0
+        assert E.bv_and(x, 0xFFFFFFFF) is x
+        assert E.bv_or(x, 0) is x
+        assert E.bv_xor(x, x) == 0
+        assert E.bv_mul(x, 1) is x
+        assert E.bv_not(E.bv_not(x)) is x
+
+    def test_add_chain_folding(self):
+        x = E.bv_sym("x")
+        chained = E.bv_add(E.bv_add(x, 4), 8)
+        assert chained.kind == "add"
+        assert chained.args[1] == 12
+
+    def test_and_chain_folding(self):
+        x = E.bv_sym("x")
+        chained = E.bv_and(E.bv_and(x, 0xFF), 0x0F)
+        assert chained.args[1] == 0x0F
+
+    def test_extract_concat_roundtrip(self):
+        x = E.bv_sym("x", 8)
+        y = E.bv_sym("y", 8)
+        word = E.bv_concat([x, y])
+        assert word.width == 16
+        assert E.bv_extract(word, 0, 8) is x
+        assert E.bv_extract(word, 8, 8) is y
+
+    def test_extract_of_int(self):
+        assert E.bv_extract(0xAABBCCDD, 8, 8) == 0xCC
+
+    def test_zext_passthrough(self):
+        x = E.bv_sym("x", 8)
+        wide = E.bv_zext(x, 32)
+        assert wide.width == 32
+        assert E.bv_extract(wide, 0, 8) is x
+        assert E.bv_extract(wide, 8, 8) == 0
+
+    def test_cmp_folding(self):
+        assert E.bv_cmp("eq", 4, 4) == 1
+        assert E.bv_cmp("ult", 3, 4) == 1
+        assert E.bv_cmp("slt", 0xFFFFFFFF, 1) == 1  # -1 < 1 signed
+        assert E.bv_cmp("uge", 3, 4) == 0
+        x = E.bv_sym("x")
+        assert E.bv_cmp("eq", x, x) == 1
+        assert E.bv_cmp("ne", x, x) == 0
+
+    def test_bool_not(self):
+        x = E.bv_sym("x")
+        cond = E.bv_cmp("eq", x, 5)
+        assert E.bool_not(cond).kind == "ne"
+        assert E.bool_not(1) == 0
+        assert E.bool_not(0) == 1
+
+    def test_shift_masking(self):
+        assert E.bv_shift("shl", 1, 33) == 2
+        assert E.bv_shift("sar", 0x80000000, 31) == 0xFFFFFFFF
+
+    def test_symbols_collection(self):
+        x, y = E.bv_sym("x"), E.bv_sym("y")
+        combined = E.bv_add(E.bv_and(x, 0xFF), y)
+        assert combined.symbols() == {"x", "y"}
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        x = E.bv_sym("x")
+        expression = E.bv_add(E.bv_mul(x, 3), 7)
+        assert E.evaluate(expression, {"x": 5}) == 22
+
+    def test_extract_concat(self):
+        lo = E.bv_sym("lo", 8)
+        hi = E.bv_sym("hi", 8)
+        word = E.bv_concat([lo, hi])
+        assert E.evaluate(word, {"lo": 0x34, "hi": 0x12}) == 0x1234
+
+    def test_unbound_symbol_is_zero(self):
+        assert E.evaluate(E.bv_sym("nothing"), {}) == 0
+
+    def test_signed_comparisons(self):
+        x = E.bv_sym("x")
+        cond = E.bv_cmp("slt", x, 0)
+        assert E.evaluate(cond, {"x": 0xFFFFFFFF}) == 1
+        assert E.evaluate(cond, {"x": 1}) == 0
+
+
+class TestSolver:
+    def setup_method(self):
+        self.solver = Solver()
+
+    def test_simple_equality(self):
+        x = E.bv_sym("x")
+        model = self.solver.find_model([E.bv_cmp("eq", x, 42)])
+        assert model == {"x": 42}
+
+    def test_range_constraint(self):
+        x = E.bv_sym("x")
+        constraints = [E.bv_cmp("ult", x, 100), E.bv_cmp("uge", x, 90)]
+        model = self.solver.find_model(constraints)
+        assert 90 <= model["x"] < 100
+
+    def test_mask_constraint(self):
+        x = E.bv_sym("x")
+        bit_set = E.bv_cmp("ne", E.bv_and(x, 0x10), 0)
+        model = self.solver.find_model([bit_set])
+        assert model["x"] & 0x10
+
+    def test_arithmetic_chain(self):
+        # ((x >> 16) & 0xFFFF) - 4 must exceed 1514 (the driver's
+        # rx_bad_frame branch).
+        x = E.bv_sym("x")
+        length = E.bv_sub(E.bv_and(E.bv_shift("shr", x, 16), 0xFFFF), 4)
+        constraints = [E.bv_cmp("ult", 1514, length)]
+        model = self.solver.find_model(constraints)
+        assert model is not None
+        assert E.evaluate(constraints[0], model) == 1
+
+    def test_contradiction(self):
+        x = E.bv_sym("x")
+        constraints = [E.bv_cmp("eq", x, 1), E.bv_cmp("eq", x, 2)]
+        assert self.solver.find_model(constraints) is None
+
+    def test_two_symbols(self):
+        x, y = E.bv_sym("x"), E.bv_sym("y")
+        constraints = [E.bv_cmp("eq", x, 7), E.bv_cmp("ult", x, y)]
+        model = self.solver.find_model(constraints)
+        assert model["x"] == 7 and model["y"] > 7
+
+    def test_prefer_hint_respected(self):
+        x = E.bv_sym("x")
+        constraints = [E.bv_cmp("ult", x, 100)]
+        model = self.solver.find_model(constraints, prefer={"x": 55})
+        assert model["x"] == 55
+
+    def test_concretize(self):
+        x = E.bv_sym("x")
+        expression = E.bv_add(x, 10)
+        value, model = self.solver.concretize(
+            expression, [E.bv_cmp("eq", x, 5)])
+        assert value == 15
+
+    def test_empty_constraints_sat(self):
+        assert self.solver.find_model([]) == {}
+
+    def test_feasibility_api(self):
+        x = E.bv_sym("x")
+        assert self.solver.is_feasible([E.bv_cmp("ne", x, 0)])
+        assert not self.solver.is_feasible(
+            [E.bv_cmp("ult", x, 1), E.bv_cmp("uge", x, 1)])
+
+
+class TestSymMemory:
+    def make(self, backing=None):
+        from repro.symex.memory import SymMemory
+        backing = backing or {}
+
+        def read(addr, width):
+            return backing.get(addr, 0)
+
+        return SymMemory(read)
+
+    def test_concrete_roundtrip(self):
+        mem = self.make()
+        mem.write(0x100, 4, 0xDEADBEEF)
+        assert mem.read(0x100, 4) == 0xDEADBEEF
+        assert mem.read(0x101, 2) == 0xADBE
+
+    def test_backing_fallthrough(self):
+        mem = self.make(backing={0x50: 0xAB})
+        assert mem.read_byte(0x50) == 0xAB
+
+    def test_symbolic_bytes(self):
+        mem = self.make()
+        x = E.bv_sym("x")
+        mem.write(0x200, 4, x)
+        value = mem.read(0x200, 4)
+        assert not E.is_concrete(value)
+        assert E.evaluate(value, {"x": 0x11223344}) == 0x11223344
+
+    def test_partial_symbolic_read(self):
+        mem = self.make()
+        x = E.bv_sym("x", 8)
+        mem.write_byte(0x300, x)
+        mem.write_byte(0x301, 0x7F)
+        value = mem.read(0x300, 2)
+        assert E.evaluate(value, {"x": 0x42}) == 0x7F42
+
+    def test_cow_fork_isolation(self):
+        mem = self.make()
+        mem.write(0x400, 4, 0x1111)
+        child = mem.fork()
+        child.write(0x400, 4, 0x2222)
+        assert mem.read(0x400, 4) == 0x1111
+        assert child.read(0x400, 4) == 0x2222
+
+    def test_fork_shares_unmodified(self):
+        mem = self.make()
+        mem.write(0x500, 4, 0xABCD)
+        child = mem.fork()
+        assert child.read(0x500, 4) == 0xABCD
+
+    def test_overlay_iterators(self):
+        mem = self.make()
+        mem.write_byte(0x600, 5)
+        mem.write_byte(0x601, E.bv_sym("s", 8))
+        concrete = dict(mem.concrete_delta())
+        symbolic = dict(mem.symbolic_addresses())
+        assert concrete == {0x600: 5}
+        assert 0x601 in symbolic
+        assert mem.overlay_size() == 2

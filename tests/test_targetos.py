@@ -1,0 +1,97 @@
+"""Unit tests for the target-OS simulators and template machinery."""
+
+import pytest
+
+from repro.drivers import device_class
+from repro.errors import TemplateError
+from repro.targetos import KitOs, LinSim, TARGET_OSES, UcSim, WinSim
+
+
+def make(os_cls, device="rtl8029"):
+    return os_cls(device_class(device))
+
+
+class TestAdaptationTables:
+    @pytest.mark.parametrize("os_cls", list(TARGET_OSES.values()))
+    def test_covers_standard_api(self, os_cls):
+        table = make(os_cls).adaptation_table()
+        for name in ("NdisAllocateMemory", "NdisMIndicateReceivePacket",
+                     "NdisMSendComplete", "NdisMRegisterIoPortRange"):
+            assert name in table
+
+    def test_unknown_api_raises(self):
+        target = make(WinSim)
+        with pytest.raises(TemplateError, match="no adaptation"):
+            target.call("NdisBogusCall", lambda i: 0)
+
+    def test_linsim_reroutes_receive_to_netif_rx(self):
+        target = make(LinSim)
+        target.machine.memory.write_bytes(0x00600000, b"hello!" + b"\0" * 60)
+        args = {0: 0x00600000, 1: 6}
+        retval, nargs = target.call("NdisMIndicateReceivePacket",
+                                    lambda i: args[i])
+        assert nargs == 2
+        assert target.received_frames == [b"hello!"]
+
+    def test_linsim_printk(self):
+        target = make(LinSim)
+        target.call("NdisWriteErrorLogEntry", lambda i: 0xE0000042)
+        assert target.printk_log == [0xE0000042]
+
+    def test_ucsim_has_no_dma_api(self):
+        target = make(UcSim, device="smc91c111")
+        with pytest.raises(TemplateError, match="no DMA"):
+            target.call("NdisMAllocateSharedMemory", lambda i: 64)
+
+    def test_kitos_traits(self):
+        assert KitOs.TRAITS.stack_cost == 0
+        assert not KitOs.TRAITS.has_network_stack
+
+
+class TestKernelServices:
+    def test_alloc_is_monotonic_and_aligned(self):
+        target = make(WinSim)
+        first = target.alloc(100, align=64)
+        second = target.alloc(10, align=64)
+        assert second > first
+        assert first % 64 == 0 and second % 64 == 0
+
+    def test_shared_alloc_writes_physical(self):
+        target = make(WinSim)
+        out_ptr = target.alloc(4)
+        args = {0: 256, 1: out_ptr}
+        virt, nargs = target.call("NdisMAllocateSharedMemory",
+                                  lambda i: args[i])
+        assert nargs == 2
+        assert target.machine.memory.read(out_ptr, 4) == virt
+
+    def test_timer_lifecycle(self):
+        target = make(WinSim)
+        args = {0: 0x1000, 1: 0x00400500}
+        target.call("NdisInitializeTimer", lambda i: args[i])
+        assert not target.timers[0x1000]["due"]
+        set_args = {0: 0x1000, 1: 50}
+        target.call("NdisSetTimer", lambda i: set_args[i])
+        assert target.timers[0x1000]["due"]
+        target.call("NdisMCancelTimer", lambda i: 0x1000)
+        assert not target.timers[0x1000]["due"]
+
+    def test_irq_latching(self):
+        target = make(WinSim)
+        assert not target.irq_pending
+        target.device.irq_callback()
+        assert target.irq_pending
+
+    def test_api_call_counter(self):
+        target = make(WinSim)
+        target.call("NdisStallExecution", lambda i: 10)
+        target.call("NdisStallExecution", lambda i: 10)
+        assert target.api_call_count == 2
+
+
+class TestOsTraitsOrdering:
+    def test_stack_costs_reflect_paper(self):
+        """NDIS heaviest, Linux lighter, embedded lighter still, KitOS
+        zero -- the OS-differences behind the figures."""
+        assert WinSim.TRAITS.stack_cost > LinSim.TRAITS.stack_cost \
+            > UcSim.TRAITS.stack_cost > KitOs.TRAITS.stack_cost
