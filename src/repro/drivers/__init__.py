@@ -6,9 +6,11 @@ consumer downstream of this module (the guest OS, RevNIC, the evaluation)
 sees only the binaries, mirroring the paper's setting where "at no time in
 this process did we have access to the drivers' source code" (section 5).
 
-:mod:`repro.drivers.native` contains the hand-written native target-OS
-drivers used as performance baselines ("Linux Original" etc. in the
-figures).
+There is no separate corpus of hand-written native target-OS drivers: the
+"Linux Original" / "uC/OSII Original" baselines of Figures 2-7 are derived
+by :func:`repro.eval.perfmodel.native_cost`, which applies a hand-tuning
+factor to the measured hardware-protocol cost of the original binary (the
+mandatory device I/O is identical for any correct driver of the same NIC).
 """
 
 import os

@@ -1,0 +1,729 @@
+; pcnet.s -- "proprietary Windows" NDIS miniport for the AMD PCNet
+; (Am79C970).
+;
+; Programming style: indirect register access -- the register number goes
+; to RAP, the value moves through RDP (CSRs) or BDP (BCRs) -- plus
+; bus-master DMA descriptor rings and an initialization block that the
+; chip fetches from shared memory.
+;
+; Calling convention: stdcall, r0 = return value.  Entry points read all
+; stack parameters up front; helpers clobber r0-r3 and preserve r4+.
+
+.import NdisMRegisterMiniport
+.import NdisMSetAttributes
+.import NdisMAllocateSharedMemory
+.import NdisGetPhysicalAddress
+.import NdisMRegisterIoPortRange
+.import NdisMRegisterInterrupt
+.import NdisInitializeTimer
+.import NdisSetTimer
+.import NdisStallExecution
+.import NdisWriteErrorLogEntry
+.import NdisMSendComplete
+.import NdisMIndicateReceivePacket
+
+; ---- adapter-context layout
+.equ CTX_IO,      0x00
+.equ CTX_MAC,     0x04
+.equ CTX_FILTER,  0x0C
+.equ CTX_DUPLEX,  0x10
+.equ CTX_INITBLK, 0x14         ; 32-byte initialization block
+.equ CTX_RDRA,    0x18         ; RX descriptor ring base
+.equ CTX_TDRA,    0x1C         ; TX descriptor ring base
+.equ CTX_MCAST,   0x20         ; 8-byte logical address filter shadow
+.equ CTX_RXBUFS,  0x28         ; four 1536-byte RX buffers
+.equ CTX_TXBUF,   0x2C         ; one 1536-byte TX staging buffer
+.equ CTX_RXIDX,   0x30
+.equ CTX_TXIDX,   0x34
+.equ CTX_PHYS,    0x38         ; scratch slot for shared-alloc phys address
+.equ CTX_WOL,     0x3C
+.equ CTX_LINK,    0x44
+.equ CTX_TIMER,   0x48         ; link-watch timer structure
+
+; ---- port map
+.equ R_RDP,   0x10
+.equ R_RAP,   0x12
+.equ R_RESET, 0x14
+.equ R_BDP,   0x16
+
+.equ CSR0_INIT, 0x0001
+.equ CSR0_STRT, 0x0002
+.equ CSR0_STOP, 0x0004
+.equ CSR0_TDMD, 0x0008
+.equ CSR0_IENA, 0x0040
+.equ CSR0_IDON, 0x0100
+.equ CSR0_TINT, 0x0200
+.equ CSR0_RINT, 0x0400
+.equ CSR15_PROM, 0x8000
+.equ DESC_OWN, 0x80000000
+
+; ---- NDIS constants
+.equ ST_SUCCESS,        0x00000000
+.equ ST_FAILURE,        0xC0000001
+.equ ST_NOT_SUPPORTED,  0xC00000BB
+.equ ST_INVALID_LENGTH, 0xC0010014
+.equ OID_FILTER,  0x0001010E
+.equ OID_SPEED,   0x00010107
+.equ OID_MEDIA,   0x00010114
+.equ OID_MAC_SET, 0x01010101
+.equ OID_MAC_CUR, 0x01010102
+.equ OID_MCAST,   0x01010103
+.equ OID_DUPLEX,  0x00010203
+.equ OID_WOL,     0xFD010106
+.equ OID_LED,     0xFF010001
+.equ MAX_FRAME, 1514
+
+; ==========================================================================
+.entry DriverEntry
+.export DriverEntry
+
+DriverEntry:
+    movi r1, miniport
+    movi r2, mp_initialize
+    st32 [r1+0x00], r2
+    movi r2, mp_send
+    st32 [r1+0x04], r2
+    movi r2, mp_isr
+    st32 [r1+0x08], r2
+    movi r2, mp_set_info
+    st32 [r1+0x0C], r2
+    movi r2, mp_query_info
+    st32 [r1+0x10], r2
+    movi r2, mp_reset
+    st32 [r1+0x14], r2
+    movi r2, mp_halt
+    st32 [r1+0x18], r2
+    push r1
+    call @NdisMRegisterMiniport
+    movi r0, ST_SUCCESS
+    ret
+
+; ---- indirect register access helpers ------------------------------------
+
+; pc_csr_write(io, num, value)
+pc_csr_write:
+    ld32 r1, [sp+4]
+    ld32 r2, [sp+8]
+    ld32 r3, [sp+12]
+    out16 (r1+R_RAP), r2
+    out16 (r1+R_RDP), r3
+    ret 12
+
+; pc_csr_read(io, num) -> value
+pc_csr_read:
+    ld32 r1, [sp+4]
+    ld32 r2, [sp+8]
+    out16 (r1+R_RAP), r2
+    in16 r0, (r1+R_RDP)
+    ret 8
+
+; pc_bcr_write(io, num, value)
+pc_bcr_write:
+    ld32 r1, [sp+4]
+    ld32 r2, [sp+8]
+    ld32 r3, [sp+12]
+    out16 (r1+R_RAP), r2
+    out16 (r1+R_BDP), r3
+    ret 12
+
+; --------------------------------------------------------------------------
+; initialize(ctx)
+
+mp_initialize:
+    ld32 r9, [sp+4]
+    push r9
+    call @NdisMSetAttributes
+    movi r1, 0x20
+    push r1
+    call @NdisMRegisterIoPortRange
+    st32 [r9+CTX_IO], r0
+    mov r8, r0
+    ; DMA-shared structures: init block, both rings, buffers
+    add r1, r9, CTX_PHYS
+    push r1
+    movi r1, 32
+    push r1
+    call @NdisMAllocateSharedMemory
+    st32 [r9+CTX_INITBLK], r0
+    add r1, r9, CTX_PHYS
+    push r1
+    movi r1, 64
+    push r1
+    call @NdisMAllocateSharedMemory
+    st32 [r9+CTX_RDRA], r0
+    add r1, r9, CTX_PHYS
+    push r1
+    movi r1, 64
+    push r1
+    call @NdisMAllocateSharedMemory
+    st32 [r9+CTX_TDRA], r0
+    add r1, r9, CTX_PHYS
+    push r1
+    movi r1, 6144
+    push r1
+    call @NdisMAllocateSharedMemory
+    st32 [r9+CTX_RXBUFS], r0
+    add r1, r9, CTX_PHYS
+    push r1
+    movi r1, 1536
+    push r1
+    call @NdisMAllocateSharedMemory
+    st32 [r9+CTX_TXBUF], r0
+    ; station address from the APROM
+    movi r2, 0
+ini_mac:
+    add r3, r8, r2
+    in8 r1, (r3+0)
+    add r3, r9, r2
+    st8 [r3+CTX_MAC], r1
+    add r2, r2, 1
+    blt r2, 6, ini_mac
+    ; operating defaults
+    movi r1, 0x05
+    st32 [r9+CTX_FILTER], r1
+    movi r1, 0
+    st32 [r9+CTX_DUPLEX], r1
+    st32 [r9+CTX_MCAST], r1
+    st32 [r9+CTX_MCAST+4], r1
+    st32 [r9+CTX_WOL], r1
+    push r9
+    call pc_hw_setup
+    movi r1, 10
+    push r1
+    call @NdisMRegisterInterrupt
+    ; periodic link watchdog
+    movi r1, mp_timer
+    push r1
+    add r1, r9, CTX_TIMER
+    push r1
+    call @NdisInitializeTimer
+    movi r1, 1000
+    push r1
+    add r1, r9, CTX_TIMER
+    push r1
+    call @NdisSetTimer
+    movi r0, ST_SUCCESS
+    ret 4
+
+; --------------------------------------------------------------------------
+; pc_hw_setup(ctx) -- rebuild the init block + rings and restart the chip
+
+pc_hw_setup:
+    ld32 r1, [sp+4]
+    push r4, r5, r6, r7
+    mov r7, r1
+    ld32 r6, [r7+CTX_IO]
+    in16 r0, (r6+R_RESET)      ; soft reset stops the chip
+    ; --- initialization block
+    ld32 r5, [r7+CTX_INITBLK]
+    ld32 r0, [r7+CTX_FILTER]
+    and r0, r0, 0x20
+    bz r0, phs_mode
+    movi r0, CSR15_PROM
+phs_mode:
+    st16 [r5+0], r0            ; mode
+    movi r0, 4
+    st16 [r5+2], r0            ; rlen
+    st16 [r5+4], r0            ; tlen
+    movi r0, 0
+    st16 [r5+6], r0
+    st16 [r5+14], r0
+    movi r4, 0
+phs_mac:
+    add r0, r7, r4
+    ld8 r0, [r0+CTX_MAC]
+    add r1, r5, r4
+    st8 [r1+8], r0             ; padr
+    add r4, r4, 1
+    blt r4, 6, phs_mac
+    movi r4, 0
+phs_ladrf:
+    add r0, r7, r4
+    ld8 r0, [r0+CTX_MCAST]
+    add r1, r5, r4
+    st8 [r1+16], r0            ; ladrf
+    add r4, r4, 1
+    blt r4, 8, phs_ladrf
+    ld32 r0, [r7+CTX_RDRA]
+    st32 [r5+24], r0
+    ld32 r0, [r7+CTX_TDRA]
+    st32 [r5+28], r0
+    ; --- RX descriptors: four device-owned 1536-byte buffers
+    ld32 r4, [r7+CTX_RDRA]
+    ld32 r3, [r7+CTX_RXBUFS]
+    movi r2, 0
+phs_rxd:
+    st32 [r4+0], r3
+    movi r0, 1536
+    st32 [r4+4], r0
+    movi r0, DESC_OWN
+    st32 [r4+8], r0
+    movi r0, 0
+    st32 [r4+12], r0
+    add r3, r3, 1536
+    add r4, r4, 16
+    add r2, r2, 1
+    blt r2, 4, phs_rxd
+    ; --- TX descriptors start host-owned and empty
+    ld32 r4, [r7+CTX_TDRA]
+    movi r2, 0
+phs_txd:
+    movi r0, 0
+    st32 [r4+0], r0
+    st32 [r4+4], r0
+    st32 [r4+8], r0
+    st32 [r4+12], r0
+    add r4, r4, 16
+    add r2, r2, 1
+    blt r2, 4, phs_txd
+    movi r0, 0
+    st32 [r7+CTX_RXIDX], r0
+    st32 [r7+CTX_TXIDX], r0
+    ; --- point the chip at the init block and start it
+    movi r0, 0xFFFF
+    and r2, r5, r0
+    push r2
+    movi r0, 1
+    push r0
+    push r6
+    call pc_csr_write
+    shr r2, r5, 16
+    push r2
+    movi r0, 2
+    push r0
+    push r6
+    call pc_csr_write
+    movi r2, CSR0_INIT
+    push r2
+    movi r0, 0
+    push r0
+    push r6
+    call pc_csr_write
+phs_idon:
+    movi r0, 0
+    push r0
+    push r6
+    call pc_csr_read
+    and r0, r0, CSR0_IDON
+    bz r0, phs_idon
+    movi r2, CSR0_IDON | CSR0_IENA | CSR0_STRT
+    push r2
+    movi r0, 0
+    push r0
+    push r6
+    call pc_csr_write
+    ; duplex + Wake-on-LAN from the context shadow
+    ld32 r2, [r7+CTX_DUPLEX]
+    push r2
+    movi r0, 9
+    push r0
+    push r6
+    call pc_bcr_write
+    ld32 r2, [r7+CTX_WOL]
+    push r2
+    movi r0, 7
+    push r0
+    push r6
+    call pc_bcr_write
+    pop r7, r6, r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; send(ctx, packet, length)
+
+mp_send:
+    ld32 r9, [sp+4]
+    ld32 r4, [sp+8]
+    ld32 r5, [sp+12]
+    ld32 r8, [r9+CTX_IO]
+    bleu r5, MAX_FRAME, snd_ok
+    movi r1, 0xBAD0001
+    push r1
+    call @NdisWriteErrorLogEntry
+    movi r0, ST_INVALID_LENGTH
+    ret 12
+snd_ok:
+    ld32 r7, [r9+CTX_TXBUF]
+    push r5
+    push r4
+    push r7
+    call copy_buf
+    push r7
+    call @NdisGetPhysicalAddress
+    ; fill the next TX descriptor; the OWN bit hands it to the chip
+    ld32 r6, [r9+CTX_TXIDX]
+    mul r7, r6, 16
+    ld32 r2, [r9+CTX_TDRA]
+    add r7, r7, r2
+    st32 [r7+0], r0
+    st32 [r7+4], r5
+    movi r0, 0
+    st32 [r7+12], r0
+    movi r0, DESC_OWN
+    st32 [r7+8], r0
+    movi r2, CSR0_TDMD | CSR0_IENA
+    push r2
+    movi r0, 0
+    push r0
+    push r8
+    call pc_csr_write
+    ; the chip clears OWN once the frame is on the wire
+    ld32 r0, [r7+8]
+    and r0, r0, DESC_OWN
+    bz r0, snd_done
+    movi r1, 0xBAD0002
+    push r1
+    call @NdisWriteErrorLogEntry
+    movi r1, ST_FAILURE
+    push r1
+    call @NdisMSendComplete
+    movi r0, ST_FAILURE
+    ret 12
+snd_done:
+    add r6, r6, 1
+    and r6, r6, 3
+    st32 [r9+CTX_TXIDX], r6
+    movi r1, ST_SUCCESS
+    push r1
+    call @NdisMSendComplete
+    movi r0, ST_SUCCESS
+    ret 12
+
+; copy_buf(dst, src, len) -- word copy with byte tail
+copy_buf:
+    ld32 r1, [sp+4]
+    ld32 r2, [sp+8]
+    ld32 r3, [sp+12]
+cb_words:
+    bltu r3, 4, cb_tail
+    ld32 r0, [r2+0]
+    st32 [r1+0], r0
+    add r1, r1, 4
+    add r2, r2, 4
+    sub r3, r3, 4
+    jmp cb_words
+cb_tail:
+    bz r3, cb_done
+    ld8 r0, [r2+0]
+    st8 [r1+0], r0
+    add r1, r1, 1
+    add r2, r2, 1
+    sub r3, r3, 1
+    jmp cb_tail
+cb_done:
+    ret 12
+
+; --------------------------------------------------------------------------
+; isr(ctx)
+
+mp_isr:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    movi r0, 0
+    push r0
+    push r8
+    call pc_csr_read
+    mov r6, r0                 ; CSR0 snapshot
+    and r1, r6, CSR0_IDON | CSR0_TINT | CSR0_RINT
+    bz r1, isr_done
+    or r1, r1, CSR0_IENA       ; ack what we saw, keep interrupts on
+    push r1
+    movi r0, 0
+    push r0
+    push r8
+    call pc_csr_write
+    and r1, r6, CSR0_RINT
+    bz r1, isr_done
+    push r9
+    call pc_rx_drain
+isr_done:
+    movi r0, ST_SUCCESS
+    ret 4
+
+; pc_rx_drain(ctx) -- hand every host-owned RX descriptor up the stack
+pc_rx_drain:
+    ld32 r1, [sp+4]
+    push r4, r5, r6, r9
+    mov r9, r1
+    ld32 r5, [r9+CTX_RDRA]
+    ld32 r6, [r9+CTX_RXIDX]
+prd_loop:
+    mul r4, r6, 16
+    add r4, r4, r5
+    ld32 r1, [r4+8]
+    and r1, r1, DESC_OWN
+    bnz r1, prd_done           ; still chip-owned: ring is drained
+    ld32 r1, [r4+12]           ; message length
+    push r1
+    ld32 r2, [r4+0]            ; buffer address
+    push r2
+    call @NdisMIndicateReceivePacket
+    movi r1, 0
+    st32 [r4+12], r1
+    movi r1, DESC_OWN          ; recycle the descriptor to the chip
+    st32 [r4+8], r1
+    add r6, r6, 1
+    and r6, r6, 3
+    jmp prd_loop
+prd_done:
+    st32 [r9+CTX_RXIDX], r6
+    pop r9, r6, r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; set_information(ctx, oid, buffer, length)
+
+mp_set_info:
+    ld32 r9, [sp+4]
+    ld32 r5, [sp+8]
+    ld32 r6, [sp+12]
+    ld32 r7, [sp+16]
+    ld32 r8, [r9+CTX_IO]
+    beq r5, OID_FILTER, si_filter
+    beq r5, OID_MAC_SET, si_mac
+    beq r5, OID_MCAST, si_mcast
+    beq r5, OID_DUPLEX, si_duplex
+    beq r5, OID_WOL, si_wol
+    beq r5, OID_LED, si_led
+    movi r0, ST_NOT_SUPPORTED
+    ret 16
+
+si_filter:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    st32 [r9+CTX_FILTER], r1
+    movi r2, 0
+    and r1, r1, 0x20
+    bz r1, sif_prog
+    movi r2, CSR15_PROM
+sif_prog:
+    push r2
+    movi r0, 15
+    push r0
+    push r8
+    call pc_csr_write
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_mac:
+    bne r7, 6, si_badlen
+    movi r2, 0
+sim_copy:
+    add r1, r6, r2
+    ld8 r1, [r1+0]
+    add r3, r9, r2
+    st8 [r3+CTX_MAC], r1
+    add r2, r2, 1
+    blt r2, 6, sim_copy
+    ; the station address lives in the init block: re-init the chip
+    push r9
+    call pc_hw_setup
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_mcast:
+    remu r1, r7, 6
+    bnz r1, si_badlen
+    movi r1, 0
+    st32 [r9+CTX_MCAST], r1
+    st32 [r9+CTX_MCAST+4], r1
+    divu r4, r7, 6
+    movi r5, 0
+simc_loop:
+    bgeu r5, r4, simc_prog
+    mul r1, r5, 6
+    add r1, r6, r1
+    push r1
+    call crc_hash
+    mov r1, r0
+    shr r2, r1, 3
+    and r1, r1, 7
+    movi r3, 1
+    shl r3, r3, r1
+    add r2, r9, r2
+    ld8 r1, [r2+CTX_MCAST]
+    or r1, r1, r3
+    st8 [r2+CTX_MCAST], r1
+    add r5, r5, 1
+    jmp simc_loop
+simc_prog:
+    ; program the logical address filter through CSR8-11
+    movi r5, 0
+simp_loop:
+    mul r1, r5, 2
+    add r2, r9, r1
+    ld8 r1, [r2+CTX_MCAST]
+    ld8 r2, [r2+CTX_MCAST+1]
+    shl r2, r2, 8
+    or r2, r2, r1
+    push r2
+    add r1, r5, 8
+    push r1
+    push r8
+    call pc_csr_write
+    add r5, r5, 1
+    blt r5, 4, simp_loop
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_duplex:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    bz r1, sid_store
+    movi r1, 1
+sid_store:
+    st32 [r9+CTX_DUPLEX], r1
+    push r1
+    movi r0, 9
+    push r0
+    push r8
+    call pc_bcr_write          ; BCR9.FDEN
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_wol:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    bz r1, siw_store
+    movi r1, 1
+siw_store:
+    st32 [r9+CTX_WOL], r1
+    push r1
+    movi r0, 7
+    push r0
+    push r8
+    call pc_bcr_write          ; BCR7.MAGIC
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_led:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    and r1, r1, 0xF
+    push r1
+    movi r0, 4
+    push r0
+    push r8
+    call pc_bcr_write          ; BCR4 LED control
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_badlen:
+    movi r0, ST_INVALID_LENGTH
+    ret 16
+
+; crc_hash(mac_ptr) -> multicast hash bit index (crc32 >> 26)
+crc_hash:
+    ld32 r1, [sp+4]
+    push r4, r5
+    movi r0, 0xFFFFFFFF
+    movi r2, 0
+crc_byte:
+    add r3, r1, r2
+    ld8 r3, [r3+0]
+    xor r0, r0, r3
+    movi r4, 0
+crc_bit:
+    and r5, r0, 1
+    shr r0, r0, 1
+    bz r5, crc_nopoly
+    xor r0, r0, 0xEDB88320
+crc_nopoly:
+    add r4, r4, 1
+    blt r4, 8, crc_bit
+    add r2, r2, 1
+    blt r2, 6, crc_byte
+    xor r0, r0, 0xFFFFFFFF
+    shr r0, r0, 26
+    pop r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; query_information(ctx, oid, buffer, length)
+
+mp_query_info:
+    ld32 r9, [sp+4]
+    ld32 r5, [sp+8]
+    ld32 r6, [sp+12]
+    ld32 r7, [sp+16]
+    beq r5, OID_MAC_CUR, qi_mac
+    beq r5, OID_SPEED, qi_speed
+    beq r5, OID_MEDIA, qi_media
+    beq r5, OID_FILTER, qi_filter
+    movi r0, ST_NOT_SUPPORTED
+    ret 16
+qi_mac:
+    bltu r7, 6, qi_badlen
+    movi r2, 0
+qim_loop:
+    add r1, r9, r2
+    ld8 r1, [r1+CTX_MAC]
+    add r3, r6, r2
+    st8 [r3+0], r1
+    add r2, r2, 1
+    blt r2, 6, qim_loop
+    movi r0, ST_SUCCESS
+    ret 16
+qi_speed:
+    bltu r7, 4, qi_badlen
+    movi r1, 100000000         ; 100 Mbps chip
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_media:
+    bltu r7, 4, qi_badlen
+    movi r1, 1
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_filter:
+    bltu r7, 4, qi_badlen
+    ld32 r1, [r9+CTX_FILTER]
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_badlen:
+    movi r0, ST_INVALID_LENGTH
+    ret 16
+
+; --------------------------------------------------------------------------
+; timer(ctx) -- periodic link watchdog
+
+mp_timer:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    movi r0, 0
+    push r0
+    push r8
+    call pc_csr_read
+    and r0, r0, CSR0_STRT      ; running == link up
+    st32 [r9+CTX_LINK], r0
+    movi r0, ST_SUCCESS
+    ret 4
+
+; --------------------------------------------------------------------------
+; reset(ctx) / halt(ctx)
+
+mp_reset:
+    ld32 r9, [sp+4]
+    push r9
+    call pc_hw_setup
+    movi r0, ST_SUCCESS
+    ret 4
+
+mp_halt:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    movi r1, CSR0_STOP
+    push r1
+    movi r0, 0
+    push r0
+    push r8
+    call pc_csr_write
+    movi r0, ST_SUCCESS
+    ret 4
+
+; ==========================================================================
+.data
+miniport:
+    .space 0x1C

@@ -1,0 +1,618 @@
+; rtl8029.s -- "proprietary Windows" NDIS miniport for the RTL8029 (NE2000).
+;
+; Programming style: page-selected registers plus remote DMA through the
+; 16/32-bit data port.  No bus mastering: every frame is copied by the CPU
+; through the data window, which is why this driver saturates the CPU in
+; the paper's Figure 6 measurements.
+;
+; Calling convention: stdcall (args pushed right to left, callee cleans),
+; r0 = return value.  Entry points read all stack parameters up front;
+; internal helpers clobber r0-r3 and preserve r4 and above.
+
+.import NdisMRegisterMiniport
+.import NdisMSetAttributes
+.import NdisAllocateMemory
+.import NdisMRegisterIoPortRange
+.import NdisMRegisterInterrupt
+.import NdisStallExecution
+.import NdisWriteErrorLogEntry
+.import NdisMSendComplete
+.import NdisMIndicateReceivePacket
+
+; ---- adapter-context layout (offsets into the OS-allocated state block)
+.equ CTX_IO,     0x00          ; I/O port base
+.equ CTX_MAC,    0x04          ; 6-byte station address
+.equ CTX_FILTER, 0x0C          ; current packet filter
+.equ CTX_DUPLEX, 0x10          ; 0/1 full-duplex flag
+.equ CTX_RXBUF,  0x14          ; host staging buffer for receives
+.equ CTX_NEXTPG, 0x18          ; next RX ring page to read
+.equ CTX_MCAST,  0x20          ; 8-byte multicast hash shadow
+
+; ---- NE2000 register file (page 0 unless noted)
+.equ R_CR,     0x00
+.equ R_PSTART, 0x01
+.equ R_PSTOP,  0x02
+.equ R_BNRY,   0x03
+.equ R_TPSR,   0x04
+.equ R_TBCR0,  0x05
+.equ R_TBCR1,  0x06
+.equ R_ISR,    0x07
+.equ R_RSAR0,  0x08
+.equ R_RSAR1,  0x09
+.equ R_RBCR0,  0x0A
+.equ R_RBCR1,  0x0B
+.equ R_RCR,    0x0C
+.equ R_TCR,    0x0D
+.equ R_DCR,    0x0E
+.equ R_IMR,    0x0F
+.equ R_CURR,   0x07            ; page 1
+.equ R_DATA,   0x10
+.equ R_RESET,  0x1F
+
+.equ ISR_PRX, 0x01
+.equ ISR_PTX, 0x02
+.equ ISR_OVW, 0x10
+.equ ISR_RDC, 0x40
+
+; packet-memory layout: 6 pages of TX staging, RX ring after it
+.equ TX_PAGE,  0x40
+.equ RX_START, 0x46
+.equ RX_STOP,  0x80
+
+; ---- NDIS constants
+.equ ST_SUCCESS,        0x00000000
+.equ ST_FAILURE,        0xC0000001
+.equ ST_NOT_SUPPORTED,  0xC00000BB
+.equ ST_INVALID_LENGTH, 0xC0010014
+.equ OID_FILTER,  0x0001010E
+.equ OID_SPEED,   0x00010107
+.equ OID_MEDIA,   0x00010114
+.equ OID_MAC_SET, 0x01010101
+.equ OID_MAC_CUR, 0x01010102
+.equ OID_MCAST,   0x01010103
+.equ OID_DUPLEX,  0x00010203
+.equ OID_WOL,     0xFD010106
+.equ OID_LED,     0xFF010001
+.equ MAX_FRAME, 1514
+
+; ==========================================================================
+.entry DriverEntry
+.export DriverEntry
+
+DriverEntry:
+    movi r1, miniport
+    movi r2, mp_initialize
+    st32 [r1+0x00], r2
+    movi r2, mp_send
+    st32 [r1+0x04], r2
+    movi r2, mp_isr
+    st32 [r1+0x08], r2
+    movi r2, mp_set_info
+    st32 [r1+0x0C], r2
+    movi r2, mp_query_info
+    st32 [r1+0x10], r2
+    movi r2, mp_reset
+    st32 [r1+0x14], r2
+    movi r2, mp_halt
+    st32 [r1+0x18], r2
+    push r1
+    call @NdisMRegisterMiniport
+    movi r0, ST_SUCCESS
+    ret
+
+; --------------------------------------------------------------------------
+; initialize(ctx)
+
+mp_initialize:
+    ld32 r9, [sp+4]
+    push r9
+    call @NdisMSetAttributes
+    movi r1, 0x20
+    push r1
+    call @NdisMRegisterIoPortRange
+    st32 [r9+CTX_IO], r0
+    mov r8, r0
+    movi r1, 1536
+    push r1
+    call @NdisAllocateMemory
+    st32 [r9+CTX_RXBUF], r0
+    ; soft reset, then let the chip settle
+    in8 r0, (r8+R_RESET)
+    movi r1, 10
+    push r1
+    call @NdisStallExecution
+    ; read the station address out of the PAR registers (page 1, stopped)
+    movi r1, 0x41
+    out8 (r8+R_CR), r1
+    movi r2, 0
+ini_mac:
+    add r3, r8, r2
+    in8 r1, (r3+1)
+    add r3, r9, r2
+    st8 [r3+CTX_MAC], r1
+    add r2, r2, 1
+    blt r2, 6, ini_mac
+    ; operating defaults: directed + broadcast, half duplex, no multicast
+    movi r1, 0x05
+    st32 [r9+CTX_FILTER], r1
+    movi r1, 0
+    st32 [r9+CTX_DUPLEX], r1
+    st32 [r9+CTX_MCAST], r1
+    st32 [r9+CTX_MCAST+4], r1
+    push r9
+    call ne_setup
+    movi r1, 9
+    push r1
+    call @NdisMRegisterInterrupt
+    movi r0, ST_SUCCESS
+    ret 4
+
+; --------------------------------------------------------------------------
+; ne_setup(ctx) -- program the chip from the context shadow and start it
+
+ne_setup:
+    ld32 r1, [sp+4]
+    ld32 r2, [r1+CTX_IO]
+    movi r0, 0x01              ; STP, page 0
+    out8 (r2+R_CR), r0
+    ld32 r0, [r1+CTX_DUPLEX]
+    shl r0, r0, 6              ; DCR.FDX
+    out8 (r2+R_DCR), r0
+    movi r0, 0
+    out8 (r2+R_TCR), r0
+    out8 (r2+R_RSAR0), r0
+    out8 (r2+R_RSAR1), r0
+    out8 (r2+R_RBCR0), r0
+    out8 (r2+R_RBCR1), r0
+    movi r0, RX_START
+    out8 (r2+R_PSTART), r0
+    out8 (r2+R_BNRY), r0
+    st32 [r1+CTX_NEXTPG], r0
+    movi r0, RX_STOP
+    out8 (r2+R_PSTOP), r0
+    ; receive configuration from the stored packet filter
+    ld32 r3, [r1+CTX_FILTER]
+    movi r0, 0x0C              ; AB | AM
+    and r3, r3, 0x20
+    bz r3, nes_rcr
+    or r0, r0, 0x10            ; PRO
+nes_rcr:
+    out8 (r2+R_RCR), r0
+    movi r0, 0xFF
+    out8 (r2+R_ISR), r0        ; clear any stale interrupt causes
+    push r1
+    call ne_set_mac
+    ; current page pointer (page 1), multicast filter, then go
+    movi r0, 0x41
+    out8 (r2+R_CR), r0
+    movi r0, RX_START
+    out8 (r2+R_CURR), r0
+    push r1
+    call ne_write_mar
+    movi r0, 0x02              ; STA, page 0
+    out8 (r2+R_CR), r0
+    movi r0, ISR_PRX | ISR_PTX
+    out8 (r2+R_IMR), r0
+    ret 4
+
+; ne_set_mac(ctx) -- program PAR0-5 from the context copy
+ne_set_mac:
+    ld32 r1, [sp+4]
+    push r4
+    ld32 r2, [r1+CTX_IO]
+    movi r0, 0x41              ; page 1, stopped
+    out8 (r2+R_CR), r0
+    movi r3, 0
+nsm_loop:
+    add r4, r1, r3
+    ld8 r4, [r4+CTX_MAC]
+    add r0, r2, r3
+    out8 (r0+1), r4
+    add r3, r3, 1
+    blt r3, 6, nsm_loop
+    movi r0, 0x02              ; restart, page 0
+    out8 (r2+R_CR), r0
+    pop r4
+    ret 4
+
+; ne_write_mar(ctx) -- program MAR0-7 from the context hash shadow
+ne_write_mar:
+    ld32 r1, [sp+4]
+    push r4
+    ld32 r2, [r1+CTX_IO]
+    movi r0, 0x41              ; page 1, stopped
+    out8 (r2+R_CR), r0
+    movi r3, 0
+nwm_loop:
+    add r4, r1, r3
+    ld8 r4, [r4+CTX_MCAST]
+    add r0, r2, r3
+    out8 (r0+8), r4
+    add r3, r3, 1
+    blt r3, 8, nwm_loop
+    movi r0, 0x02
+    out8 (r2+R_CR), r0
+    pop r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; send(ctx, packet, length)
+
+mp_send:
+    ld32 r9, [sp+4]
+    ld32 r4, [sp+8]
+    ld32 r5, [sp+12]
+    ld32 r8, [r9+CTX_IO]
+    bleu r5, MAX_FRAME, snd_ok
+    movi r1, 0xBAD0001
+    push r1
+    call @NdisWriteErrorLogEntry
+    movi r0, ST_INVALID_LENGTH
+    ret 12
+snd_ok:
+    ; copy the frame into the TX staging pages via remote DMA
+    push r5
+    push r4
+    movi r1, TX_PAGE * 256
+    push r1
+    push r8
+    call ne_remote_write
+    ; byte count + start page, then fire the transmitter
+    out8 (r8+R_TBCR0), r5
+    shr r1, r5, 8
+    out8 (r8+R_TBCR1), r1
+    movi r1, TX_PAGE
+    out8 (r8+R_TPSR), r1
+    movi r1, 0x06              ; STA | TXP
+    out8 (r8+R_CR), r1
+    movi r1, ST_SUCCESS
+    push r1
+    call @NdisMSendComplete
+    movi r0, ST_SUCCESS
+    ret 12
+
+; ne_remote_write(io, ring_addr, src, count) -- CPU copy into packet memory
+ne_remote_write:
+    ld32 r1, [sp+4]
+    ld32 r2, [sp+8]
+    ld32 r3, [sp+12]
+    ld32 r0, [sp+16]
+    push r4, r5
+    mov r4, r0
+    out8 (r1+R_RSAR0), r2
+    shr r5, r2, 8
+    out8 (r1+R_RSAR1), r5
+    out8 (r1+R_RBCR0), r4
+    shr r5, r4, 8
+    out8 (r1+R_RBCR1), r5
+    movi r5, 0x12              ; STA | remote write
+    out8 (r1+R_CR), r5
+nrw_words:
+    bltu r4, 4, nrw_tail
+    ld32 r5, [r3+0]
+    out32 (r1+R_DATA), r5
+    add r3, r3, 4
+    sub r4, r4, 4
+    jmp nrw_words
+nrw_tail:
+    bz r4, nrw_wait
+    ld8 r5, [r3+0]
+    out8 (r1+R_DATA), r5
+    add r3, r3, 1
+    sub r4, r4, 1
+    jmp nrw_tail
+nrw_wait:
+    in8 r5, (r1+R_ISR)         ; wait for remote-DMA completion
+    and r5, r5, ISR_RDC
+    bz r5, nrw_wait
+    movi r5, ISR_RDC
+    out8 (r1+R_ISR), r5
+    pop r5, r4
+    ret 16
+
+; ne_remote_read(io, ring_addr, dst, count) -- CPU copy out of packet memory
+ne_remote_read:
+    ld32 r1, [sp+4]
+    ld32 r2, [sp+8]
+    ld32 r3, [sp+12]
+    ld32 r0, [sp+16]
+    push r4, r5
+    mov r4, r0
+    out8 (r1+R_RSAR0), r2
+    shr r5, r2, 8
+    out8 (r1+R_RSAR1), r5
+    out8 (r1+R_RBCR0), r4
+    shr r5, r4, 8
+    out8 (r1+R_RBCR1), r5
+    movi r5, 0x0A              ; STA | remote read
+    out8 (r1+R_CR), r5
+nrr_loop:
+    bz r4, nrr_done
+    in8 r5, (r1+R_DATA)
+    st8 [r3+0], r5
+    add r3, r3, 1
+    sub r4, r4, 1
+    jmp nrr_loop
+nrr_done:
+    pop r5, r4
+    ret 16
+
+; --------------------------------------------------------------------------
+; isr(ctx)
+
+mp_isr:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    in8 r6, (r8+R_ISR)
+    bz r6, isr_done
+    out8 (r8+R_ISR), r6        ; acknowledge everything we observed
+    and r2, r6, ISR_PRX
+    bz r2, isr_norx
+    push r9
+    call ne_rx_drain
+isr_norx:
+    and r2, r6, ISR_OVW
+    bz r2, isr_done
+    ; ring overflow: resynchronize both ring pointers
+    movi r2, 0x41
+    out8 (r8+R_CR), r2
+    movi r2, RX_START
+    out8 (r8+R_CURR), r2
+    movi r3, 0x02
+    out8 (r8+R_CR), r3
+    out8 (r8+R_BNRY), r2
+    st32 [r9+CTX_NEXTPG], r2
+isr_done:
+    movi r0, ST_SUCCESS
+    ret 4
+
+; ne_rx_drain(ctx) -- pull every completed frame out of the ring
+ne_rx_drain:
+    ld32 r1, [sp+4]
+    push r4, r5, r6, r7, r8, r9, r10, r11
+    mov r9, r1
+    ld32 r8, [r9+CTX_IO]
+    ld32 r5, [r9+CTX_RXBUF]
+    movi r0, 0x42              ; page 1, keep running
+    out8 (r8+R_CR), r0
+    in8 r7, (r8+R_CURR)
+    movi r0, 0x02
+    out8 (r8+R_CR), r0
+    ld32 r6, [r9+CTX_NEXTPG]
+nrd_loop:
+    beq r6, r7, nrd_done
+    ; 4-byte ring header: status, next page, count lo, count hi
+    shl r4, r6, 8
+    movi r0, 4
+    push r0
+    push r5
+    push r4
+    push r8
+    call ne_remote_read
+    ld8 r11, [r5+1]            ; next packet page
+    ld16 r10, [r5+2]
+    sub r10, r10, 4            ; frame length (count includes the header)
+    add r4, r4, 4
+    ; first span runs at most to the end of packet memory
+    movi r0, RX_STOP * 256
+    sub r0, r0, r4
+    mov r1, r10
+    bleu r1, r0, nrd_span1
+    mov r1, r0
+nrd_span1:
+    push r1
+    push r5
+    push r4
+    push r8
+    mov r4, r1                 ; keep span1 across the call
+    call ne_remote_read
+    sub r0, r10, r4            ; wrapped remainder
+    bz r0, nrd_indicate
+    add r1, r5, r4
+    push r0
+    push r1
+    movi r0, RX_START * 256
+    push r0
+    push r8
+    call ne_remote_read
+nrd_indicate:
+    push r10
+    push r5
+    call @NdisMIndicateReceivePacket
+    mov r6, r11                ; consume: boundary follows next-page link
+    st32 [r9+CTX_NEXTPG], r6
+    out8 (r8+R_BNRY), r6
+    jmp nrd_loop
+nrd_done:
+    pop r11, r10, r9, r8, r7, r6, r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; set_information(ctx, oid, buffer, length)
+
+mp_set_info:
+    ld32 r9, [sp+4]
+    ld32 r5, [sp+8]
+    ld32 r6, [sp+12]
+    ld32 r7, [sp+16]
+    ld32 r8, [r9+CTX_IO]
+    beq r5, OID_FILTER, si_filter
+    beq r5, OID_MAC_SET, si_mac
+    beq r5, OID_MCAST, si_mcast
+    beq r5, OID_DUPLEX, si_duplex
+    movi r0, ST_NOT_SUPPORTED  ; no Wake-on-LAN or LED on this chip
+    ret 16
+
+si_filter:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    st32 [r9+CTX_FILTER], r1
+    movi r0, 0x0C              ; AB | AM
+    and r1, r1, 0x20
+    bz r1, sif_prog
+    or r0, r0, 0x10            ; PRO
+sif_prog:
+    out8 (r8+R_RCR), r0
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_mac:
+    bne r7, 6, si_badlen
+    movi r2, 0
+sim_copy:
+    add r1, r6, r2
+    ld8 r1, [r1+0]
+    add r3, r9, r2
+    st8 [r3+CTX_MAC], r1
+    add r2, r2, 1
+    blt r2, 6, sim_copy
+    push r9
+    call ne_set_mac
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_mcast:
+    remu r1, r7, 6
+    bnz r1, si_badlen
+    movi r1, 0
+    st32 [r9+CTX_MCAST], r1
+    st32 [r9+CTX_MCAST+4], r1
+    divu r4, r7, 6             ; number of multicast addresses
+    movi r5, 0
+simc_loop:
+    bgeu r5, r4, simc_prog
+    mul r1, r5, 6
+    add r1, r6, r1
+    push r1
+    call crc_hash
+    mov r1, r0                 ; hash bit index 0..63
+    shr r2, r1, 3
+    and r1, r1, 7
+    movi r3, 1
+    shl r3, r3, r1
+    add r2, r9, r2
+    ld8 r1, [r2+CTX_MCAST]
+    or r1, r1, r3
+    st8 [r2+CTX_MCAST], r1
+    add r5, r5, 1
+    jmp simc_loop
+simc_prog:
+    push r9
+    call ne_write_mar
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_duplex:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    bz r1, sid_store
+    movi r1, 1
+sid_store:
+    st32 [r9+CTX_DUPLEX], r1
+    shl r1, r1, 6              ; DCR.FDX
+    out8 (r8+R_DCR), r1
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_badlen:
+    movi r0, ST_INVALID_LENGTH
+    ret 16
+
+; crc_hash(mac_ptr) -> multicast hash bit index (crc32 >> 26)
+crc_hash:
+    ld32 r1, [sp+4]
+    push r4, r5
+    movi r0, 0xFFFFFFFF
+    movi r2, 0
+crc_byte:
+    add r3, r1, r2
+    ld8 r3, [r3+0]
+    xor r0, r0, r3
+    movi r4, 0
+crc_bit:
+    and r5, r0, 1
+    shr r0, r0, 1
+    bz r5, crc_nopoly
+    xor r0, r0, 0xEDB88320
+crc_nopoly:
+    add r4, r4, 1
+    blt r4, 8, crc_bit
+    add r2, r2, 1
+    blt r2, 6, crc_byte
+    xor r0, r0, 0xFFFFFFFF
+    shr r0, r0, 26
+    pop r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; query_information(ctx, oid, buffer, length)
+
+mp_query_info:
+    ld32 r9, [sp+4]
+    ld32 r5, [sp+8]
+    ld32 r6, [sp+12]
+    ld32 r7, [sp+16]
+    beq r5, OID_MAC_CUR, qi_mac
+    beq r5, OID_SPEED, qi_speed
+    beq r5, OID_MEDIA, qi_media
+    beq r5, OID_FILTER, qi_filter
+    movi r0, ST_NOT_SUPPORTED
+    ret 16
+qi_mac:
+    bltu r7, 6, qi_badlen
+    movi r2, 0
+qim_loop:
+    add r1, r9, r2
+    ld8 r1, [r1+CTX_MAC]
+    add r3, r6, r2
+    st8 [r3+0], r1
+    add r2, r2, 1
+    blt r2, 6, qim_loop
+    movi r0, ST_SUCCESS
+    ret 16
+qi_speed:
+    bltu r7, 4, qi_badlen
+    movi r1, 10000000          ; 10 Mbps chip
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_media:
+    bltu r7, 4, qi_badlen
+    movi r1, 1                 ; connected
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_filter:
+    bltu r7, 4, qi_badlen
+    ld32 r1, [r9+CTX_FILTER]
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_badlen:
+    movi r0, ST_INVALID_LENGTH
+    ret 16
+
+; --------------------------------------------------------------------------
+; reset(ctx) / halt(ctx)
+
+mp_reset:
+    ld32 r9, [sp+4]
+    push r9
+    call ne_setup
+    movi r0, ST_SUCCESS
+    ret 4
+
+mp_halt:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    movi r1, 0
+    out8 (r8+R_IMR), r1
+    movi r1, 0x01              ; STP
+    out8 (r8+R_CR), r1
+    movi r0, ST_SUCCESS
+    ret 4
+
+; ==========================================================================
+.data
+miniport:
+    .space 0x1C

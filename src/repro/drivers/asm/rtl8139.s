@@ -1,0 +1,618 @@
+; rtl8139.s -- "proprietary Windows" NDIS miniport for the Realtek RTL8139.
+;
+; Programming style: bus-master DMA.  Four TX descriptor slots whose
+; staging buffers the chip fetches from shared memory, and an RX ring the
+; chip writes directly into shared memory.  Carries the full Table-2
+; feature set for this chip: Wake-on-LAN (Config3 magic packet), LED
+; control (Config1) and full duplex (BMCR).
+;
+; Calling convention: stdcall, r0 = return value.  Entry points read all
+; stack parameters up front; helpers clobber r0-r3 and preserve r4+.
+
+.import NdisMRegisterMiniport
+.import NdisMSetAttributes
+.import NdisMAllocateSharedMemory
+.import NdisGetPhysicalAddress
+.import NdisMRegisterIoPortRange
+.import NdisMRegisterInterrupt
+.import NdisInitializeTimer
+.import NdisSetTimer
+.import NdisStallExecution
+.import NdisWriteErrorLogEntry
+.import NdisMSendComplete
+.import NdisMIndicateReceivePacket
+
+; ---- adapter-context layout
+.equ CTX_IO,     0x00
+.equ CTX_MAC,    0x04
+.equ CTX_FILTER, 0x0C
+.equ CTX_DUPLEX, 0x10
+.equ CTX_RXRING, 0x14          ; physical base of the RX ring
+.equ CTX_RXOFF,  0x18          ; driver read offset into the ring
+.equ CTX_TXSLOT, 0x1C          ; next TX descriptor slot (0..3)
+.equ CTX_MCAST,  0x20          ; 8-byte multicast hash shadow
+.equ CTX_TXBUF,  0x28          ; base of the four TX staging buffers
+.equ CTX_LINK,   0x2C
+.equ CTX_WOL,    0x30
+.equ CTX_PHYS,   0x34          ; scratch slot for shared-alloc phys address
+.equ CTX_TIMER,  0x40          ; link-watch timer structure
+
+; ---- register file (port I/O)
+.equ R_IDR,     0x00
+.equ R_MAR,     0x08
+.equ R_TSD,     0x10
+.equ R_TSAD,    0x20
+.equ R_RBSTART, 0x30
+.equ R_CR,      0x37
+.equ R_CAPR,    0x38
+.equ R_CBR,     0x3A
+.equ R_IMR,     0x3C
+.equ R_ISR,     0x3E
+.equ R_RCR,     0x44
+.equ R_CFG9346, 0x50
+.equ R_CONFIG1, 0x52
+.equ R_CONFIG3, 0x59
+.equ R_BMCR,    0x64
+
+.equ CR_TE,    0x04
+.equ CR_RE,    0x08
+.equ CR_RST,   0x10
+.equ ISR_ROK,  0x01
+.equ ISR_TOK,  0x04
+.equ TSD_TOK,  0x8000
+.equ RCR_AAP,  0x01
+.equ RX_WRAP,  6160            ; ring wraps past RX_RING_SIZE - 2048
+
+; ---- NDIS constants
+.equ ST_SUCCESS,        0x00000000
+.equ ST_FAILURE,        0xC0000001
+.equ ST_NOT_SUPPORTED,  0xC00000BB
+.equ ST_INVALID_LENGTH, 0xC0010014
+.equ OID_FILTER,  0x0001010E
+.equ OID_SPEED,   0x00010107
+.equ OID_MEDIA,   0x00010114
+.equ OID_MAC_SET, 0x01010101
+.equ OID_MAC_CUR, 0x01010102
+.equ OID_MCAST,   0x01010103
+.equ OID_DUPLEX,  0x00010203
+.equ OID_WOL,     0xFD010106
+.equ OID_LED,     0xFF010001
+.equ MAX_FRAME, 1514
+
+; ==========================================================================
+.entry DriverEntry
+.export DriverEntry
+
+DriverEntry:
+    movi r1, miniport
+    movi r2, mp_initialize
+    st32 [r1+0x00], r2
+    movi r2, mp_send
+    st32 [r1+0x04], r2
+    movi r2, mp_isr
+    st32 [r1+0x08], r2
+    movi r2, mp_set_info
+    st32 [r1+0x0C], r2
+    movi r2, mp_query_info
+    st32 [r1+0x10], r2
+    movi r2, mp_reset
+    st32 [r1+0x14], r2
+    movi r2, mp_halt
+    st32 [r1+0x18], r2
+    push r1
+    call @NdisMRegisterMiniport
+    movi r0, ST_SUCCESS
+    ret
+
+; --------------------------------------------------------------------------
+; initialize(ctx)
+
+mp_initialize:
+    ld32 r9, [sp+4]
+    push r9
+    call @NdisMSetAttributes
+    movi r1, 0x100
+    push r1
+    call @NdisMRegisterIoPortRange
+    st32 [r9+CTX_IO], r0
+    mov r8, r0
+    ; DMA-shared RX ring (8K + 16 bytes of slack)
+    add r1, r9, CTX_PHYS
+    push r1
+    movi r1, 0x2010
+    push r1
+    call @NdisMAllocateSharedMemory
+    ld32 r1, [r9+CTX_PHYS]
+    st32 [r9+CTX_RXRING], r1
+    ; DMA-shared TX staging area: four 1536-byte slots
+    add r1, r9, CTX_PHYS
+    push r1
+    movi r1, 6144
+    push r1
+    call @NdisMAllocateSharedMemory
+    st32 [r9+CTX_TXBUF], r0
+    ; read the burned-in station address
+    movi r2, 0
+ini_mac:
+    add r3, r8, r2
+    in8 r1, (r3+R_IDR)
+    add r3, r9, r2
+    st8 [r3+CTX_MAC], r1
+    add r2, r2, 1
+    blt r2, 6, ini_mac
+    ; operating defaults
+    movi r1, 0x05
+    st32 [r9+CTX_FILTER], r1
+    movi r1, 0
+    st32 [r9+CTX_DUPLEX], r1
+    st32 [r9+CTX_MCAST], r1
+    st32 [r9+CTX_MCAST+4], r1
+    st32 [r9+CTX_WOL], r1
+    push r9
+    call rtl_hw_setup
+    movi r1, 11
+    push r1
+    call @NdisMRegisterInterrupt
+    ; periodic link watchdog
+    movi r1, mp_timer
+    push r1
+    add r1, r9, CTX_TIMER
+    push r1
+    call @NdisInitializeTimer
+    movi r1, 1000
+    push r1
+    add r1, r9, CTX_TIMER
+    push r1
+    call @NdisSetTimer
+    movi r0, ST_SUCCESS
+    ret 4
+
+; --------------------------------------------------------------------------
+; rtl_hw_setup(ctx) -- reset the chip and reprogram it from the context
+
+rtl_hw_setup:
+    ld32 r1, [sp+4]
+    push r4, r5
+    mov r5, r1
+    ld32 r4, [r5+CTX_IO]
+    movi r0, CR_RST
+    out8 (r4+R_CR), r0
+rhs_wait:
+    in8 r0, (r4+R_CR)          ; wait for the reset bit to clear
+    and r0, r0, CR_RST
+    bnz r0, rhs_wait
+    push r5
+    call rtl_set_macregs
+    push r5
+    call rtl_write_mar
+    ld32 r0, [r5+CTX_RXRING]
+    out32 (r4+R_RBSTART), r0
+    movi r0, 0
+    st32 [r5+CTX_RXOFF], r0
+    st32 [r5+CTX_TXSLOT], r0
+    movi r0, 0xFFF0
+    out16 (r4+R_CAPR), r0
+    ; receive configuration from the stored packet filter
+    ld32 r1, [r5+CTX_FILTER]
+    movi r0, 0x0E              ; APM | AM | AB
+    and r1, r1, 0x20
+    bz r1, rhs_rcr
+    or r0, r0, RCR_AAP
+rhs_rcr:
+    out32 (r4+R_RCR), r0
+    ; duplex (BMCR) and Wake-on-LAN (Config3) from the context shadow
+    ld32 r0, [r5+CTX_DUPLEX]
+    shl r0, r0, 8
+    or r0, r0, 0x2000
+    out16 (r4+R_BMCR), r0
+    movi r0, 0xC0
+    out8 (r4+R_CFG9346), r0
+    ld32 r0, [r5+CTX_WOL]
+    shl r0, r0, 5
+    out8 (r4+R_CONFIG3), r0
+    movi r0, 0
+    out8 (r4+R_CFG9346), r0
+    ; enable the engines, clear stale causes, unmask
+    movi r0, CR_RE | CR_TE
+    out8 (r4+R_CR), r0
+    movi r0, 0xFFFF
+    out16 (r4+R_ISR), r0
+    movi r0, ISR_ROK | ISR_TOK
+    out16 (r4+R_IMR), r0
+    pop r5, r4
+    ret 4
+
+; rtl_set_macregs(ctx) -- program IDR0-5 from the context copy
+rtl_set_macregs:
+    ld32 r1, [sp+4]
+    push r4
+    ld32 r2, [r1+CTX_IO]
+    movi r3, 0
+rsm_loop:
+    add r4, r1, r3
+    ld8 r4, [r4+CTX_MAC]
+    add r0, r2, r3
+    out8 (r0+R_IDR), r4
+    add r3, r3, 1
+    blt r3, 6, rsm_loop
+    pop r4
+    ret 4
+
+; rtl_write_mar(ctx) -- program MAR0-7 from the context hash shadow
+rtl_write_mar:
+    ld32 r1, [sp+4]
+    push r4
+    ld32 r2, [r1+CTX_IO]
+    movi r3, 0
+rwm_loop:
+    add r4, r1, r3
+    ld8 r4, [r4+CTX_MCAST]
+    add r0, r2, r3
+    out8 (r0+R_MAR), r4
+    add r3, r3, 1
+    blt r3, 8, rwm_loop
+    pop r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; send(ctx, packet, length)
+
+mp_send:
+    ld32 r9, [sp+4]
+    ld32 r4, [sp+8]
+    ld32 r5, [sp+12]
+    ld32 r8, [r9+CTX_IO]
+    bleu r5, MAX_FRAME, snd_ok
+    movi r1, 0xBAD0001
+    push r1
+    call @NdisWriteErrorLogEntry
+    movi r0, ST_INVALID_LENGTH
+    ret 12
+snd_ok:
+    ; stage the frame in this slot's DMA buffer
+    ld32 r6, [r9+CTX_TXSLOT]
+    mul r7, r6, 1536
+    ld32 r1, [r9+CTX_TXBUF]
+    add r7, r7, r1
+    push r5
+    push r4
+    push r7
+    call copy_buf
+    push r7
+    call @NdisGetPhysicalAddress
+    ; hand the buffer to the chip; writing the size starts the DMA
+    mul r2, r6, 4
+    add r3, r8, r2
+    out32 (r3+R_TSAD), r0
+    out32 (r3+R_TSD), r5
+    in32 r1, (r3+R_TSD)
+    and r1, r1, TSD_TOK
+    bnz r1, snd_done
+    movi r1, 0xBAD0002         ; transmitter did not complete
+    push r1
+    call @NdisWriteErrorLogEntry
+    movi r1, ST_FAILURE
+    push r1
+    call @NdisMSendComplete
+    movi r0, ST_FAILURE
+    ret 12
+snd_done:
+    add r6, r6, 1
+    and r6, r6, 3
+    st32 [r9+CTX_TXSLOT], r6
+    movi r1, ST_SUCCESS
+    push r1
+    call @NdisMSendComplete
+    movi r0, ST_SUCCESS
+    ret 12
+
+; copy_buf(dst, src, len) -- word copy with byte tail
+copy_buf:
+    ld32 r1, [sp+4]
+    ld32 r2, [sp+8]
+    ld32 r3, [sp+12]
+cb_words:
+    bltu r3, 4, cb_tail
+    ld32 r0, [r2+0]
+    st32 [r1+0], r0
+    add r1, r1, 4
+    add r2, r2, 4
+    sub r3, r3, 4
+    jmp cb_words
+cb_tail:
+    bz r3, cb_done
+    ld8 r0, [r2+0]
+    st8 [r1+0], r0
+    add r1, r1, 1
+    add r2, r2, 1
+    sub r3, r3, 1
+    jmp cb_tail
+cb_done:
+    ret 12
+
+; --------------------------------------------------------------------------
+; isr(ctx)
+
+mp_isr:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    in16 r6, (r8+R_ISR)
+    bz r6, isr_done
+    out16 (r8+R_ISR), r6       ; acknowledge everything we observed
+    and r2, r6, ISR_ROK
+    bz r2, isr_done
+    push r9
+    call rtl_rx_drain
+isr_done:
+    movi r0, ST_SUCCESS
+    ret 4
+
+; rtl_rx_drain(ctx) -- walk the ring up to the chip's write pointer
+rtl_rx_drain:
+    ld32 r1, [sp+4]
+    push r4, r5, r6, r7, r8, r9
+    mov r9, r1
+    ld32 r8, [r9+CTX_IO]
+    ld32 r5, [r9+CTX_RXRING]
+    ld32 r6, [r9+CTX_RXOFF]
+rrd_loop:
+    in16 r7, (r8+R_CBR)
+    beq r6, r7, rrd_done
+    add r4, r5, r6             ; current ring record
+    ld16 r1, [r4+0]            ; status
+    and r1, r1, 1
+    bz r1, rrd_done            ; not a good frame: stop walking
+    ld16 r7, [r4+2]            ; length (frame + 4 FCS bytes)
+    sub r0, r7, 4
+    push r0
+    add r1, r4, 4
+    push r1
+    call @NdisMIndicateReceivePacket
+    ; advance to the next dword-aligned record, mirroring the chip's wrap
+    add r1, r7, 7
+    movi r2, 0xFFFFFFFC
+    and r1, r1, r2
+    add r6, r6, r1
+    bleu r6, RX_WRAP, rrd_capr
+    movi r6, 0
+rrd_capr:
+    sub r1, r6, 16
+    out16 (r8+R_CAPR), r1
+    jmp rrd_loop
+rrd_done:
+    st32 [r9+CTX_RXOFF], r6
+    pop r9, r8, r7, r6, r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; set_information(ctx, oid, buffer, length)
+
+mp_set_info:
+    ld32 r9, [sp+4]
+    ld32 r5, [sp+8]
+    ld32 r6, [sp+12]
+    ld32 r7, [sp+16]
+    ld32 r8, [r9+CTX_IO]
+    beq r5, OID_FILTER, si_filter
+    beq r5, OID_MAC_SET, si_mac
+    beq r5, OID_MCAST, si_mcast
+    beq r5, OID_DUPLEX, si_duplex
+    beq r5, OID_WOL, si_wol
+    beq r5, OID_LED, si_led
+    movi r0, ST_NOT_SUPPORTED
+    ret 16
+
+si_filter:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    st32 [r9+CTX_FILTER], r1
+    movi r0, 0x0E
+    and r1, r1, 0x20
+    bz r1, sif_prog
+    or r0, r0, RCR_AAP
+sif_prog:
+    out32 (r8+R_RCR), r0
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_mac:
+    bne r7, 6, si_badlen
+    movi r2, 0
+sim_copy:
+    add r1, r6, r2
+    ld8 r1, [r1+0]
+    add r3, r9, r2
+    st8 [r3+CTX_MAC], r1
+    add r2, r2, 1
+    blt r2, 6, sim_copy
+    push r9
+    call rtl_set_macregs
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_mcast:
+    remu r1, r7, 6
+    bnz r1, si_badlen
+    movi r1, 0
+    st32 [r9+CTX_MCAST], r1
+    st32 [r9+CTX_MCAST+4], r1
+    divu r4, r7, 6
+    movi r5, 0
+simc_loop:
+    bgeu r5, r4, simc_prog
+    mul r1, r5, 6
+    add r1, r6, r1
+    push r1
+    call crc_hash
+    mov r1, r0
+    shr r2, r1, 3
+    and r1, r1, 7
+    movi r3, 1
+    shl r3, r3, r1
+    add r2, r9, r2
+    ld8 r1, [r2+CTX_MCAST]
+    or r1, r1, r3
+    st8 [r2+CTX_MCAST], r1
+    add r5, r5, 1
+    jmp simc_loop
+simc_prog:
+    push r9
+    call rtl_write_mar
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_duplex:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    bz r1, sid_store
+    movi r1, 1
+sid_store:
+    st32 [r9+CTX_DUPLEX], r1
+    shl r1, r1, 8              ; BMCR.FDX
+    or r1, r1, 0x2000
+    out16 (r8+R_BMCR), r1
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_wol:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    bz r1, siw_store
+    movi r1, 1
+siw_store:
+    st32 [r9+CTX_WOL], r1
+    movi r2, 0xC0              ; unlock the config registers
+    out8 (r8+R_CFG9346), r2
+    shl r1, r1, 5              ; Config3.MAGIC
+    out8 (r8+R_CONFIG3), r1
+    movi r2, 0
+    out8 (r8+R_CFG9346), r2
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_led:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    and r1, r1, 3
+    shl r1, r1, 6              ; Config1 LED mode bits
+    movi r2, 0xC0
+    out8 (r8+R_CFG9346), r2
+    out8 (r8+R_CONFIG1), r1
+    movi r2, 0
+    out8 (r8+R_CFG9346), r2
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_badlen:
+    movi r0, ST_INVALID_LENGTH
+    ret 16
+
+; crc_hash(mac_ptr) -> multicast hash bit index (crc32 >> 26)
+crc_hash:
+    ld32 r1, [sp+4]
+    push r4, r5
+    movi r0, 0xFFFFFFFF
+    movi r2, 0
+crc_byte:
+    add r3, r1, r2
+    ld8 r3, [r3+0]
+    xor r0, r0, r3
+    movi r4, 0
+crc_bit:
+    and r5, r0, 1
+    shr r0, r0, 1
+    bz r5, crc_nopoly
+    xor r0, r0, 0xEDB88320
+crc_nopoly:
+    add r4, r4, 1
+    blt r4, 8, crc_bit
+    add r2, r2, 1
+    blt r2, 6, crc_byte
+    xor r0, r0, 0xFFFFFFFF
+    shr r0, r0, 26
+    pop r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; query_information(ctx, oid, buffer, length)
+
+mp_query_info:
+    ld32 r9, [sp+4]
+    ld32 r5, [sp+8]
+    ld32 r6, [sp+12]
+    ld32 r7, [sp+16]
+    beq r5, OID_MAC_CUR, qi_mac
+    beq r5, OID_SPEED, qi_speed
+    beq r5, OID_MEDIA, qi_media
+    beq r5, OID_FILTER, qi_filter
+    movi r0, ST_NOT_SUPPORTED
+    ret 16
+qi_mac:
+    bltu r7, 6, qi_badlen
+    movi r2, 0
+qim_loop:
+    add r1, r9, r2
+    ld8 r1, [r1+CTX_MAC]
+    add r3, r6, r2
+    st8 [r3+0], r1
+    add r2, r2, 1
+    blt r2, 6, qim_loop
+    movi r0, ST_SUCCESS
+    ret 16
+qi_speed:
+    bltu r7, 4, qi_badlen
+    movi r1, 100000000         ; 100 Mbps chip
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_media:
+    bltu r7, 4, qi_badlen
+    movi r1, 1
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_filter:
+    bltu r7, 4, qi_badlen
+    ld32 r1, [r9+CTX_FILTER]
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_badlen:
+    movi r0, ST_INVALID_LENGTH
+    ret 16
+
+; --------------------------------------------------------------------------
+; timer(ctx) -- periodic link watchdog
+
+mp_timer:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    in16 r1, (r8+R_BMCR)
+    and r1, r1, 0x2000         ; speed bit doubles as link-present
+    st32 [r9+CTX_LINK], r1
+    movi r0, ST_SUCCESS
+    ret 4
+
+; --------------------------------------------------------------------------
+; reset(ctx) / halt(ctx)
+
+mp_reset:
+    ld32 r9, [sp+4]
+    push r9
+    call rtl_hw_setup
+    movi r0, ST_SUCCESS
+    ret 4
+
+mp_halt:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    movi r1, 0
+    out16 (r8+R_IMR), r1
+    out8 (r8+R_CR), r1
+    movi r0, ST_SUCCESS
+    ret 4
+
+; ==========================================================================
+.data
+miniport:
+    .space 0x1C

@@ -1,0 +1,603 @@
+; smc91c111.s -- "proprietary Windows" NDIS miniport for the SMSC 91C111.
+;
+; Programming style: bank-switched registers over MMIO with on-chip packet
+; memory managed by an MMU (allocate / release) and TX/RX FIFOs.  No bus
+; mastering: the CPU copies every halfword through the DATA window, which
+; is what makes Figure 5's in-driver CPU share so large.
+;
+; Calling convention: stdcall, r0 = return value.  Entry points read all
+; stack parameters up front; helpers clobber r0-r3 and preserve r4+.
+
+.import NdisMRegisterMiniport
+.import NdisMSetAttributes
+.import NdisAllocateMemory
+.import NdisMMapIoSpace
+.import NdisMRegisterInterrupt
+.import NdisStallExecution
+.import NdisWriteErrorLogEntry
+.import NdisMSendComplete
+.import NdisMIndicateReceivePacket
+
+; ---- adapter-context layout
+.equ CTX_IO,      0x00         ; MMIO register base
+.equ CTX_MAC,     0x04
+.equ CTX_FILTER,  0x0C
+.equ CTX_DUPLEX,  0x10
+.equ CTX_RXBUF,   0x14         ; host staging buffer
+.equ CTX_LASTPNR, 0x18         ; packet number of the last transmit
+.equ CTX_MCAST,   0x20         ; 8-byte multicast hash shadow
+
+; ---- register file (per-bank offsets; bank select at 0x0E)
+.equ R_BANK,    0x0E
+.equ R_TCR,     0x00           ; bank 0
+.equ R_RCR,     0x04
+.equ R_RPCR,    0x0A
+.equ R_IAR,     0x04           ; bank 1 (6 bytes)
+.equ R_MMU,     0x00           ; bank 2
+.equ R_PNR,     0x02
+.equ R_ARR,     0x03
+.equ R_PTR,     0x06
+.equ R_DATA,    0x08
+.equ R_INTST,   0x0C
+.equ R_INTMSK,  0x0D
+.equ R_MCAST,   0x00           ; bank 3 (8 bytes)
+
+.equ TCR_TXENA,   0x0001
+.equ TCR_FDUPLX,  0x0800
+.equ RCR_PRMS,    0x0002
+.equ RCR_RXEN,    0x0100
+.equ RCR_SOFTRST, 0x8000
+.equ MMU_ALLOC,   0x20
+.equ MMU_POPRX,   0x70
+.equ MMU_FREEPKT, 0x80
+.equ MMU_TXQUEUE, 0xC0
+.equ ARR_FAILED,  0x80
+.equ PTR_AUTOINC, 0x4000
+.equ PTR_RCV,     0x8000
+.equ INT_RCV,     0x01
+.equ INT_TX,      0x02
+.equ INT_ALLOC,   0x08
+
+; ---- NDIS constants
+.equ ST_SUCCESS,        0x00000000
+.equ ST_FAILURE,        0xC0000001
+.equ ST_NOT_SUPPORTED,  0xC00000BB
+.equ ST_INVALID_LENGTH, 0xC0010014
+.equ OID_FILTER,  0x0001010E
+.equ OID_SPEED,   0x00010107
+.equ OID_MEDIA,   0x00010114
+.equ OID_MAC_SET, 0x01010101
+.equ OID_MAC_CUR, 0x01010102
+.equ OID_MCAST,   0x01010103
+.equ OID_DUPLEX,  0x00010203
+.equ OID_WOL,     0xFD010106
+.equ OID_LED,     0xFF010001
+.equ MAX_FRAME, 1514
+
+; ==========================================================================
+.entry DriverEntry
+.export DriverEntry
+
+DriverEntry:
+    movi r1, miniport
+    movi r2, mp_initialize
+    st32 [r1+0x00], r2
+    movi r2, mp_send
+    st32 [r1+0x04], r2
+    movi r2, mp_isr
+    st32 [r1+0x08], r2
+    movi r2, mp_set_info
+    st32 [r1+0x0C], r2
+    movi r2, mp_query_info
+    st32 [r1+0x10], r2
+    movi r2, mp_reset
+    st32 [r1+0x14], r2
+    movi r2, mp_halt
+    st32 [r1+0x18], r2
+    push r1
+    call @NdisMRegisterMiniport
+    movi r0, ST_SUCCESS
+    ret
+
+; sm_bank(base, n) -- select a register bank
+sm_bank:
+    ld32 r1, [sp+4]
+    ld32 r2, [sp+8]
+    st16 [r1+R_BANK], r2
+    ret 8
+
+; --------------------------------------------------------------------------
+; initialize(ctx)
+
+mp_initialize:
+    ld32 r9, [sp+4]
+    push r9
+    call @NdisMSetAttributes
+    movi r1, 0x100
+    push r1
+    movi r1, 0
+    push r1
+    call @NdisMMapIoSpace
+    st32 [r9+CTX_IO], r0
+    mov r8, r0
+    movi r1, 1536
+    push r1
+    call @NdisAllocateMemory
+    st32 [r9+CTX_RXBUF], r0
+    ; read the station address from the IAR registers (bank 1)
+    movi r1, 1
+    push r1
+    push r8
+    call sm_bank
+    movi r2, 0
+ini_mac:
+    add r1, r8, r2
+    ld8 r1, [r1+R_IAR]
+    add r3, r9, r2
+    st8 [r3+CTX_MAC], r1
+    add r2, r2, 1
+    blt r2, 6, ini_mac
+    ; operating defaults
+    movi r1, 0x05
+    st32 [r9+CTX_FILTER], r1
+    movi r1, 0
+    st32 [r9+CTX_DUPLEX], r1
+    st32 [r9+CTX_MCAST], r1
+    st32 [r9+CTX_MCAST+4], r1
+    st32 [r9+CTX_LASTPNR], r1
+    push r9
+    call sm_hw_setup
+    movi r1, 5
+    push r1
+    call @NdisStallExecution
+    movi r1, 6
+    push r1
+    call @NdisMRegisterInterrupt
+    movi r0, ST_SUCCESS
+    ret 4
+
+; --------------------------------------------------------------------------
+; sm_hw_setup(ctx) -- soft reset and reprogram from the context shadow
+
+sm_hw_setup:
+    ld32 r1, [sp+4]
+    push r4, r5
+    mov r5, r1
+    ld32 r4, [r5+CTX_IO]
+    ; bank 0: soft reset, then release it
+    movi r1, 0
+    push r1
+    push r4
+    call sm_bank
+    movi r0, RCR_SOFTRST
+    st16 [r4+R_RCR], r0
+    movi r0, 0
+    st16 [r4+R_RCR], r0
+    ; station address + multicast table
+    push r5
+    call sm_set_mac
+    push r5
+    call sm_write_mcast
+    ; bank 2: unmask receive + transmit interrupts
+    movi r1, 2
+    push r1
+    push r4
+    call sm_bank
+    movi r0, INT_RCV | INT_TX
+    st8 [r4+R_INTMSK], r0
+    ; bank 0: enable transmitter and receiver
+    movi r1, 0
+    push r1
+    push r4
+    call sm_bank
+    ld32 r0, [r5+CTX_DUPLEX]
+    shl r0, r0, 11             ; TCR.FDUPLX
+    or r0, r0, TCR_TXENA
+    st16 [r4+R_TCR], r0
+    ld32 r1, [r5+CTX_FILTER]
+    movi r0, RCR_RXEN
+    and r1, r1, 0x20
+    bz r1, shs_rcr
+    or r0, r0, RCR_PRMS
+shs_rcr:
+    st16 [r4+R_RCR], r0
+    pop r5, r4
+    ret 4
+
+; sm_set_mac(ctx) -- program IAR0-5 (bank 1) from the context copy
+sm_set_mac:
+    ld32 r1, [sp+4]
+    push r4, r5
+    mov r5, r1
+    ld32 r4, [r5+CTX_IO]
+    movi r1, 1
+    push r1
+    push r4
+    call sm_bank
+    movi r3, 0
+ssm_loop:
+    add r1, r5, r3
+    ld8 r1, [r1+CTX_MAC]
+    add r2, r4, r3
+    st8 [r2+R_IAR], r1
+    add r3, r3, 1
+    blt r3, 6, ssm_loop
+    pop r5, r4
+    ret 4
+
+; sm_write_mcast(ctx) -- program the bank 3 multicast table
+sm_write_mcast:
+    ld32 r1, [sp+4]
+    push r4, r5
+    mov r5, r1
+    ld32 r4, [r5+CTX_IO]
+    movi r1, 3
+    push r1
+    push r4
+    call sm_bank
+    movi r3, 0
+swm_loop:
+    add r1, r5, r3
+    ld8 r1, [r1+CTX_MCAST]
+    add r2, r4, r3
+    st8 [r2+R_MCAST], r1
+    add r3, r3, 1
+    blt r3, 8, swm_loop
+    pop r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; send(ctx, packet, length)
+
+mp_send:
+    ld32 r9, [sp+4]
+    ld32 r4, [sp+8]
+    ld32 r5, [sp+12]
+    ld32 r8, [r9+CTX_IO]
+    bleu r5, MAX_FRAME, snd_ok
+    movi r1, 0xBAD0001
+    push r1
+    call @NdisWriteErrorLogEntry
+    movi r0, ST_INVALID_LENGTH
+    ret 12
+snd_ok:
+    movi r1, 2
+    push r1
+    push r8
+    call sm_bank
+    ; grab a packet buffer from the on-chip MMU
+snd_alloc:
+    movi r1, MMU_ALLOC
+    st16 [r8+R_MMU], r1
+    ld8 r1, [r8+R_ARR]
+    and r2, r1, ARR_FAILED
+    bnz r2, snd_alloc
+    and r1, r1, 0x3F
+    st8 [r8+R_PNR], r1
+    st32 [r9+CTX_LASTPNR], r1
+    ; window to the start of the packet, auto-increment
+    movi r1, PTR_AUTOINC
+    st16 [r8+R_PTR], r1
+    ; status word, then byte count (frame + 6 bytes of framing)
+    movi r1, 0
+    st16 [r8+R_DATA], r1
+    add r1, r5, 6
+    st16 [r8+R_DATA], r1
+    ; halfword copy with odd-byte tail
+    mov r6, r5
+    mov r7, r4
+snd_copy:
+    bltu r6, 2, snd_tail
+    ld16 r1, [r7+0]
+    st16 [r8+R_DATA], r1
+    add r7, r7, 2
+    sub r6, r6, 2
+    jmp snd_copy
+snd_tail:
+    bz r6, snd_ctl
+    ld8 r1, [r7+0]
+    st8 [r8+R_DATA], r1
+snd_ctl:
+    movi r1, 0
+    st16 [r8+R_DATA], r1       ; control word
+    movi r1, MMU_TXQUEUE
+    st16 [r8+R_MMU], r1
+    movi r1, ST_SUCCESS
+    push r1
+    call @NdisMSendComplete
+    movi r0, ST_SUCCESS
+    ret 12
+
+; --------------------------------------------------------------------------
+; isr(ctx)
+
+mp_isr:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    movi r1, 2
+    push r1
+    push r8
+    call sm_bank
+    ld8 r6, [r8+R_INTST]
+    bz r6, isr_done
+    and r1, r6, INT_RCV
+    bz r1, isr_norx
+    push r9
+    call sm_rx_drain
+isr_norx:
+    and r1, r6, INT_TX
+    bz r1, isr_done
+    ; release the transmitted packet and acknowledge
+    ld32 r1, [r9+CTX_LASTPNR]
+    st8 [r8+R_PNR], r1
+    movi r1, MMU_FREEPKT
+    st16 [r8+R_MMU], r1
+    movi r1, INT_TX | INT_ALLOC
+    st8 [r8+R_INTST], r1
+isr_done:
+    movi r0, ST_SUCCESS
+    ret 4
+
+; sm_rx_drain(ctx) -- copy every queued frame out of the RX fifo
+sm_rx_drain:
+    ld32 r1, [sp+4]
+    push r4, r5, r6, r7
+    mov r7, r1
+    ld32 r6, [r7+CTX_IO]
+    ld32 r5, [r7+CTX_RXBUF]
+    movi r1, 2
+    push r1
+    push r6
+    call sm_bank
+srd_loop:
+    ld8 r1, [r6+R_INTST]
+    and r1, r1, INT_RCV
+    bz r1, srd_done
+    ; window onto the head of the RX fifo
+    movi r1, PTR_RCV | PTR_AUTOINC
+    st16 [r6+R_PTR], r1
+    ld16 r1, [r6+R_DATA]       ; status word (no error bits modeled)
+    ld16 r4, [r6+R_DATA]       ; byte count
+    and r4, r4, 0x7FF
+    sub r4, r4, 6              ; payload bytes
+    mov r2, r5
+    mov r3, r4
+srd_copy:
+    bltu r3, 2, srd_tail
+    ld16 r1, [r6+R_DATA]
+    st16 [r2+0], r1
+    add r2, r2, 2
+    sub r3, r3, 2
+    jmp srd_copy
+srd_tail:
+    bz r3, srd_ind
+    ld8 r1, [r6+R_DATA]
+    st8 [r2+0], r1
+srd_ind:
+    push r4
+    push r5
+    call @NdisMIndicateReceivePacket
+    ; pop the fifo entry and return the packet to the free pool
+    movi r1, MMU_POPRX
+    st16 [r6+R_MMU], r1
+    jmp srd_loop
+srd_done:
+    pop r7, r6, r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; set_information(ctx, oid, buffer, length)
+
+mp_set_info:
+    ld32 r9, [sp+4]
+    ld32 r5, [sp+8]
+    ld32 r6, [sp+12]
+    ld32 r7, [sp+16]
+    ld32 r8, [r9+CTX_IO]
+    beq r5, OID_FILTER, si_filter
+    beq r5, OID_MAC_SET, si_mac
+    beq r5, OID_MCAST, si_mcast
+    beq r5, OID_DUPLEX, si_duplex
+    beq r5, OID_LED, si_led
+    movi r0, ST_NOT_SUPPORTED  ; no Wake-on-LAN on this chip
+    ret 16
+
+si_filter:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    st32 [r9+CTX_FILTER], r1
+    movi r2, 0
+    push r2
+    push r8
+    call sm_bank
+    ld32 r1, [r9+CTX_FILTER]
+    movi r0, RCR_RXEN
+    and r1, r1, 0x20
+    bz r1, sif_prog
+    or r0, r0, RCR_PRMS
+sif_prog:
+    st16 [r8+R_RCR], r0
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_mac:
+    bne r7, 6, si_badlen
+    movi r2, 0
+sim_copy:
+    add r1, r6, r2
+    ld8 r1, [r1+0]
+    add r3, r9, r2
+    st8 [r3+CTX_MAC], r1
+    add r2, r2, 1
+    blt r2, 6, sim_copy
+    push r9
+    call sm_set_mac
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_mcast:
+    remu r1, r7, 6
+    bnz r1, si_badlen
+    movi r1, 0
+    st32 [r9+CTX_MCAST], r1
+    st32 [r9+CTX_MCAST+4], r1
+    divu r4, r7, 6
+    movi r5, 0
+simc_loop:
+    bgeu r5, r4, simc_prog
+    mul r1, r5, 6
+    add r1, r6, r1
+    push r1
+    call crc_hash
+    mov r1, r0
+    shr r2, r1, 3
+    and r1, r1, 7
+    movi r3, 1
+    shl r3, r3, r1
+    add r2, r9, r2
+    ld8 r1, [r2+CTX_MCAST]
+    or r1, r1, r3
+    st8 [r2+CTX_MCAST], r1
+    add r5, r5, 1
+    jmp simc_loop
+simc_prog:
+    push r9
+    call sm_write_mcast
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_duplex:
+    bltu r7, 4, si_badlen
+    ld32 r1, [r6+0]
+    bz r1, sid_store
+    movi r1, 1
+sid_store:
+    st32 [r9+CTX_DUPLEX], r1
+    movi r2, 0
+    push r2
+    push r8
+    call sm_bank
+    ld32 r1, [r9+CTX_DUPLEX]
+    shl r1, r1, 11
+    or r1, r1, TCR_TXENA
+    st16 [r8+R_TCR], r1
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_led:
+    bltu r7, 4, si_badlen
+    movi r2, 0
+    push r2
+    push r8
+    call sm_bank
+    ld32 r1, [r6+0]
+    and r1, r1, 0x3F
+    st16 [r8+R_RPCR], r1
+    movi r0, ST_SUCCESS
+    ret 16
+
+si_badlen:
+    movi r0, ST_INVALID_LENGTH
+    ret 16
+
+; crc_hash(mac_ptr) -> multicast hash bit index (crc32 >> 26)
+crc_hash:
+    ld32 r1, [sp+4]
+    push r4, r5
+    movi r0, 0xFFFFFFFF
+    movi r2, 0
+crc_byte:
+    add r3, r1, r2
+    ld8 r3, [r3+0]
+    xor r0, r0, r3
+    movi r4, 0
+crc_bit:
+    and r5, r0, 1
+    shr r0, r0, 1
+    bz r5, crc_nopoly
+    xor r0, r0, 0xEDB88320
+crc_nopoly:
+    add r4, r4, 1
+    blt r4, 8, crc_bit
+    add r2, r2, 1
+    blt r2, 6, crc_byte
+    xor r0, r0, 0xFFFFFFFF
+    shr r0, r0, 26
+    pop r5, r4
+    ret 4
+
+; --------------------------------------------------------------------------
+; query_information(ctx, oid, buffer, length)
+
+mp_query_info:
+    ld32 r9, [sp+4]
+    ld32 r5, [sp+8]
+    ld32 r6, [sp+12]
+    ld32 r7, [sp+16]
+    beq r5, OID_MAC_CUR, qi_mac
+    beq r5, OID_SPEED, qi_speed
+    beq r5, OID_MEDIA, qi_media
+    beq r5, OID_FILTER, qi_filter
+    movi r0, ST_NOT_SUPPORTED
+    ret 16
+qi_mac:
+    bltu r7, 6, qi_badlen
+    movi r2, 0
+qim_loop:
+    add r1, r9, r2
+    ld8 r1, [r1+CTX_MAC]
+    add r3, r6, r2
+    st8 [r3+0], r1
+    add r2, r2, 1
+    blt r2, 6, qim_loop
+    movi r0, ST_SUCCESS
+    ret 16
+qi_speed:
+    bltu r7, 4, qi_badlen
+    movi r1, 10000000          ; 10 Mbps embedded chip
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_media:
+    bltu r7, 4, qi_badlen
+    movi r1, 1
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_filter:
+    bltu r7, 4, qi_badlen
+    ld32 r1, [r9+CTX_FILTER]
+    st32 [r6+0], r1
+    movi r0, ST_SUCCESS
+    ret 16
+qi_badlen:
+    movi r0, ST_INVALID_LENGTH
+    ret 16
+
+; --------------------------------------------------------------------------
+; reset(ctx) / halt(ctx)
+
+mp_reset:
+    ld32 r9, [sp+4]
+    push r9
+    call sm_hw_setup
+    movi r0, ST_SUCCESS
+    ret 4
+
+mp_halt:
+    ld32 r9, [sp+4]
+    ld32 r8, [r9+CTX_IO]
+    movi r1, 0
+    push r1
+    push r8
+    call sm_bank
+    movi r1, 0
+    st16 [r8+R_TCR], r1
+    st16 [r8+R_RCR], r1
+    movi r0, ST_SUCCESS
+    ret 4
+
+; ==========================================================================
+.data
+miniport:
+    .space 0x1C

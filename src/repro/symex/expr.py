@@ -38,11 +38,16 @@ class Expr:
     def symbols(self):
         """The set of symbol names this expression depends on."""
         out = set()
+        seen = set()
         stack = [self]
         while stack:
             node = stack.pop()
             if isinstance(node, int):
                 continue
+            marker = id(node)
+            if marker in seen:
+                continue
+            seen.add(marker)
             if node.kind == "sym":
                 out.add(node.name)
             else:
@@ -309,49 +314,73 @@ BINOP_BUILDERS = {
 }
 
 
-def evaluate(expr, model):
+_BIN_FOLDS = {
+    "add": lambda x, y: x + y,
+    "sub": lambda x, y: x - y,
+    "and": lambda x, y: x & y,
+    "or": lambda x, y: x | y,
+    "xor": lambda x, y: x ^ y,
+    "shl": lambda x, y: x << (y & 31),
+    "shr": lambda x, y: x >> (y & 31),
+    "sar": lambda x, y: _signed32(x) >> (y & 31),
+    "mul": lambda x, y: x * y,
+    "divu": lambda x, y: x // y if y else 0,
+    "remu": lambda x, y: x % y if y else 0,
+}
+
+
+def evaluate(expr, model, memo=None):
     """Evaluate ``expr`` to a concrete int under ``model`` (name -> int).
 
-    Unbound symbols evaluate to 0.
+    Unbound symbols evaluate to 0.  Expressions are DAGs (byte extracts of
+    one load are reassembled by concat, so subtrees are shared); ``memo``
+    caches per-node results by identity so shared subtrees are evaluated
+    once instead of once per reference.  Callers evaluating many
+    expressions under the *same* model may pass one memo dict across the
+    batch; it must be discarded whenever the model changes.
     """
     if isinstance(expr, int):
         return expr
+    if memo is None:
+        memo = {}
+    return _evaluate(expr, model, memo)
+
+
+def _evaluate(expr, model, memo):
+    if isinstance(expr, int):
+        return expr
+    key = id(expr)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached[1]
     kind = expr.kind
     if kind == "sym":
-        return model.get(expr.name, 0) & _mask(expr.width)
-    if kind == "zext":
-        return evaluate(expr.args[0], model)
-    if kind == "extract":
-        return (evaluate(expr.args[0], model) >> expr.lo) & _mask(expr.width)
-    if kind == "concat":
+        value = model.get(expr.name, 0) & _mask(expr.width)
+    elif kind == "zext":
+        value = _evaluate(expr.args[0], model, memo)
+    elif kind == "extract":
+        value = (_evaluate(expr.args[0], model, memo) >> expr.lo) \
+            & _mask(expr.width)
+    elif kind == "concat":
         value = 0
         shift = 0
         for part in expr.args:
             width = 32 if isinstance(part, int) else part.width
-            value |= (evaluate(part, model) & _mask(width)) << shift
+            value |= (_evaluate(part, model, memo) & _mask(width)) << shift
             shift += width
-        return value
-    if kind == "not":
-        return (~evaluate(expr.args[0], model)) & _mask(expr.width)
-    if kind == "neg":
-        return (-evaluate(expr.args[0], model)) & _mask(expr.width)
-    if kind in _CMP_FOLDS:
-        a = evaluate(expr.args[0], model)
-        b = evaluate(expr.args[1], model)
-        return 1 if _CMP_FOLDS[kind](a, b) else 0
-    a = evaluate(expr.args[0], model)
-    b = evaluate(expr.args[1], model)
-    fold = {
-        "add": lambda x, y: x + y,
-        "sub": lambda x, y: x - y,
-        "and": lambda x, y: x & y,
-        "or": lambda x, y: x | y,
-        "xor": lambda x, y: x ^ y,
-        "shl": lambda x, y: x << (y & 31),
-        "shr": lambda x, y: x >> (y & 31),
-        "sar": lambda x, y: _signed32(x) >> (y & 31),
-        "mul": lambda x, y: x * y,
-        "divu": lambda x, y: x // y if y else 0,
-        "remu": lambda x, y: x % y if y else 0,
-    }[kind]
-    return fold(a, b) & _mask(expr.width)
+    elif kind == "not":
+        value = (~_evaluate(expr.args[0], model, memo)) & _mask(expr.width)
+    elif kind == "neg":
+        value = (-_evaluate(expr.args[0], model, memo)) & _mask(expr.width)
+    elif kind in _CMP_FOLDS:
+        a = _evaluate(expr.args[0], model, memo)
+        b = _evaluate(expr.args[1], model, memo)
+        value = 1 if _CMP_FOLDS[kind](a, b) else 0
+    else:
+        a = _evaluate(expr.args[0], model, memo)
+        b = _evaluate(expr.args[1], model, memo)
+        value = _BIN_FOLDS[kind](a, b) & _mask(expr.width)
+    # The node rides along in the entry so its id stays pinned for the
+    # memo's lifetime (ids of collected nodes can be recycled).
+    memo[key] = (expr, value)
+    return value

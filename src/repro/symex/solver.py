@@ -134,14 +134,17 @@ class Solver:
 
     @staticmethod
     def _satisfied(constraints, model):
-        return all(evaluate(c, model) == 1 for c in constraints)
+        memo = {}
+        return all(evaluate(c, model, memo) == 1 for c in constraints)
 
     @staticmethod
     def _score(constraints, model):
-        return sum(1 for c in constraints if evaluate(c, model) == 1)
+        memo = {}
+        return sum(1 for c in constraints if evaluate(c, model, memo) == 1)
 
     def _mine_candidates(self, constraints):
         mined = set(_BOUNDARY_VALUES)
+        seen = set()
         stack = list(constraints)
         while stack:
             node = stack.pop()
@@ -157,28 +160,55 @@ class Solver:
                     mined.add((~value) & 0xFFFFFFFF)
                 continue
             if isinstance(node, Expr):
+                marker = id(node)
+                if marker in seen:
+                    continue
+                seen.add(marker)
                 stack.extend(node.args)
         return sorted(mined)
 
     def _greedy_search(self, constraints, symbols, candidates, model):
         model = dict(model)
-        best_score = self._score(constraints, model)
+        memo = {}
+        satisfied = [evaluate(c, model, memo) == 1 for c in constraints]
+        best_score = sum(satisfied)
         target = len(constraints)
+        # Changing one symbol can only flip constraints that mention it, so
+        # the hill climb rescoores just those.
+        by_symbol = {name: [] for name in symbols}
+        for index, constraint in enumerate(constraints):
+            for name in constraint.symbols():
+                if name in by_symbol:
+                    by_symbol[name].append(index)
         for _ in range(self.greedy_passes):
             improved = False
             for name in symbols:
+                affected = by_symbol[name]
+                if not affected:
+                    continue
                 original = model[name]
                 best_value = original
+                best_local = sum(1 for i in affected if satisfied[i])
                 for value in candidates:
+                    if value == original:
+                        continue
                     model[name] = value
-                    score = self._score(constraints, model)
-                    if score > best_score:
-                        best_score = score
+                    memo = {}
+                    local = sum(1 for i in affected
+                                if evaluate(constraints[i], model, memo) == 1)
+                    if local > best_local:
+                        best_local = local
                         best_value = value
-                        improved = True
-                        if score == target:
-                            return model
                 model[name] = best_value
+                if best_value != original:
+                    improved = True
+                    memo = {}
+                    for i in affected:
+                        satisfied[i] = \
+                            evaluate(constraints[i], model, memo) == 1
+                    best_score = sum(satisfied)
+                    if best_score == target:
+                        return model
             if not improved:
                 break
         if best_score == target:

@@ -1,0 +1,78 @@
+"""Tests for the driver-corpus plumbing in :mod:`repro.drivers`."""
+
+import os
+
+import pytest
+
+import repro.drivers as drivers
+from repro.asm import DrvImage
+from repro.drivers import DRIVERS, build_driver, device_class, \
+    driver_source_path
+from repro.guestos.loader import load_image
+from repro.guestos.structures import MINIPORT_FIELDS
+from repro.hw.base import NicDevice
+from repro.vm.machine import Machine
+
+
+class TestSourcePaths:
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            driver_source_path("rtl9999")
+
+    def test_build_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            build_driver("rtl9999")
+
+    @pytest.mark.parametrize("name", sorted(DRIVERS))
+    def test_source_exists(self, name):
+        path = driver_source_path(name)
+        assert os.path.exists(path), path
+        assert path.endswith("%s.s" % name)
+
+
+class TestBuildCache:
+    def test_build_caches_per_process(self):
+        drivers._image_cache.clear()
+        first = build_driver("rtl8029")
+        second = build_driver("rtl8029")
+        assert first is second
+        assert drivers._image_cache["rtl8029"] is first
+
+    def test_cache_is_per_driver(self):
+        assert build_driver("rtl8029") is not build_driver("pcnet")
+
+
+@pytest.mark.parametrize("name", sorted(DRIVERS))
+class TestCorpusImages:
+    def test_assembles_to_drv_image(self, name):
+        image = build_driver(name)
+        assert isinstance(image, DrvImage)
+        image.validate()
+        # Binary round trip survives.
+        back = DrvImage.from_bytes(image.to_bytes())
+        assert back.text == image.text
+
+    def test_image_is_loadable(self, name):
+        image = build_driver(name)
+        machine = Machine()
+        loaded = load_image(machine, image)
+        assert loaded.contains_code(loaded.entry_address)
+        # Every import slot resolves to a name the loader can dispatch on.
+        assert sorted(loaded.import_names) == list(range(len(image.imports)))
+
+    def test_registers_every_miniport_entry(self, name):
+        """DriverEntry fills the whole characteristics structure."""
+        from repro.guestos.ndis import NdisEnv
+
+        env = NdisEnv(Machine())
+        env.load_driver(build_driver(name))
+        assert set(env.entry_points) >= set(MINIPORT_FIELDS)
+
+    def test_metadata_matches_device(self, name):
+        info = DRIVERS[name]
+        cls = device_class(name)
+        assert issubclass(cls, NicDevice)
+        assert info.link_mbps in (10, 100)
+        # DMA-capable chips expose bus-master identity via their model.
+        if info.uses_dma:
+            assert cls.PCI.vendor_id != 0
