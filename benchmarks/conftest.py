@@ -1,19 +1,50 @@
 """Shared fixtures for the benchmark harness.
 
 The pipeline cache is warmed once per session so the per-table/figure
-benches measure their experiment, not redundant RevNIC re-runs.
+benches measure their experiment, not redundant RevNIC re-runs.  The
+warm-up also emits ``BENCH_pipeline.json`` at the repo root -- per-driver
+pipeline wall seconds plus solver/executor counters -- which CI uploads as
+an artifact; ``benchmarks/BENCH_pipeline.baseline.json`` is the committed
+baseline the perf trajectory is tracked against.
 """
+
+import json
+import os
 
 import pytest
 
 from repro.eval.runner import get_cache
+
+_BENCH_COUNTERS = ("wall_seconds", "blocks_executed", "forks",
+                   "solver_queries", "solver_comp_solves",
+                   "solver_cache_hits", "solver_fast_path_hits",
+                   "eval_program_runs", "eval_node_visits")
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _emit_bench_json(runs):
+    report = {"drivers": {}, "total_wall_seconds": 0.0}
+    for run in runs:
+        stats = run.result.stats
+        entry = {key: stats[key] for key in _BENCH_COUNTERS}
+        entry["coverage"] = run.result.coverage_fraction
+        report["drivers"][run.name] = entry
+        report["total_wall_seconds"] += stats["wall_seconds"]
+    report["total_wall_seconds"] = round(report["total_wall_seconds"], 3)
+    path = os.path.join(_REPO_ROOT, "BENCH_pipeline.json")
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @pytest.fixture(scope="session")
 def cache():
     """Process-wide pipeline cache, pre-warmed for all four drivers."""
     shared = get_cache()
-    shared.all_drivers()
+    runs = shared.all_drivers()
+    _emit_bench_json(runs)
     return shared
 
 

@@ -204,9 +204,12 @@ def _translate_instr(em, instr, pc, next_pc):
 class Translator:
     """Caching DBT front end.
 
-    Blocks are cached by starting address + code bytes, so self-modifying
-    or reloaded code retranslates ("the DBT cannot translate all the code
-    at once, because the code may not be available in advance").
+    Cached blocks are validated against the *entire* current code bytes of
+    the block before being served, so self-modifying or reloaded code
+    retranslates ("the DBT cannot translate all the code at once, because
+    the code may not be available in advance").  Checking only the first
+    instruction is not enough: a patch landing past a block's first
+    instruction would otherwise keep serving the stale translation.
     """
 
     def __init__(self, read_code):
@@ -215,12 +218,17 @@ class Translator:
 
     def get(self, pc):
         """Translate (or fetch from cache) the block at ``pc``."""
-        first = self._read_code(pc, INSTR_SIZE)
-        key = (pc, bytes(first))
-        block = self._cache.get(key)
-        if block is None:
-            block = translate_block(self._read_code, pc)
-            self._cache[key] = block
+        current = None
+        cached = self._cache.get(pc)
+        if cached is not None:
+            block, raw = cached
+            current = bytes(self._read_code(pc, block.size))
+            if current == raw:
+                return block
+        block = translate_block(self._read_code, pc)
+        if current is None or len(current) != block.size:
+            current = bytes(self._read_code(pc, block.size))
+        self._cache[pc] = (block, current)
         return block
 
     def invalidate(self):

@@ -114,6 +114,7 @@ class RevNic:
     def run(self):
         """Execute the full exercise script; returns a RevNicResult."""
         self._start_time = time.monotonic()
+        eval_before = E.eval_counters()
         trace = Trace(driver_name=self.config.driver_name,
                       text_base=self.loaded.text_base,
                       text_size=len(self.image.text))
@@ -131,10 +132,18 @@ class RevNic:
                     trace.segments.append(segment)
 
         trace.entry_points = dict(self.entry_points)
+        eval_after = E.eval_counters()
         stats = {
             "blocks_executed": self._blocks_total,
             "forks": self.executor.forks,
             "solver_queries": self.solver.queries,
+            "solver_comp_solves": self.solver.comp_solves,
+            "solver_cache_hits": self.solver.cache_hits,
+            "solver_fast_path_hits": self.solver.fast_path_hits,
+            "eval_program_runs": (eval_after["program_runs"]
+                                  - eval_before["program_runs"]),
+            "eval_node_visits": (eval_after["node_visits"]
+                                 - eval_before["node_visits"]),
             "blocks_recorded": self.wiretap.blocks_recorded,
             "imports_recorded": self.wiretap.imports_recorded,
             "wall_seconds": time.monotonic() - self._start_time,

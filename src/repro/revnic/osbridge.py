@@ -97,12 +97,12 @@ class SymOsBridge:
         """Concretize ``value`` at the OS boundary, constraining the path."""
         if isinstance(value, int):
             return value
-        concrete, model = self.solver.concretize(value, state.constraints,
-                                                 prefer=state.model_hint)
+        concrete, model = self.solver.concretize_context(
+            state.solver_ctx, value, prefer=state.model_hint)
         if concrete is None:
             state.status = PathStatus.ERROR
             return None
-        state.add_constraint(E.bv_cmp("eq", value, concrete))
+        state.add_constraint(E.bv_cmp("eq", value, concrete), model=model)
         state.model_hint.update(model)
         return concrete
 

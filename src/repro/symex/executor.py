@@ -173,8 +173,10 @@ class SymExecutor:
                 # Constrain the divisor nonzero; the divide-by-zero path is
                 # an error state RevNIC simply terminates (section 3.2).
                 constraint = E.bv_cmp("ne", b, 0)
-                state.add_constraint(constraint)
-                if not self.solver.is_feasible(state.constraints):
+                witness = self.solver.check_context(
+                    state.solver_ctx, constraint, prefer=state.model_hint)
+                state.add_constraint(constraint, model=witness)
+                if witness is None:
                     state.status = PathStatus.ERROR
                     return 0
         return E.BINOP_BUILDERS[op.kind.value](a, b)
@@ -188,12 +190,12 @@ class SymExecutor:
         symbolic addresses by concretizing them")."""
         if isinstance(value, int):
             return value
-        concrete, model = self.solver.concretize(value, state.constraints,
-                                                 prefer=state.model_hint)
+        concrete, model = self.solver.concretize_context(
+            state.solver_ctx, value, prefer=state.model_hint)
         if concrete is None:
             state.status = PathStatus.ERROR
             return None
-        state.add_constraint(E.bv_cmp("eq", value, concrete))
+        state.add_constraint(E.bv_cmp("eq", value, concrete), model=model)
         state.model_hint.update(model)
         return concrete
 
@@ -301,26 +303,35 @@ class SymExecutor:
                 state.loop_suspects.add(successor)
         taken_constraint = cond
         not_taken = E.bool_not(cond)
-        taken_ok = self.solver.is_feasible(state.constraints
-                                           + [taken_constraint])
-        fall_ok = self.solver.is_feasible(state.constraints + [not_taken])
+        # Incremental feasibility: each probe first evaluates just the new
+        # constraint under the path's accumulated witness model (a few
+        # compiled-program steps) and only falls into a component solve on
+        # failure; components the condition does not touch are never
+        # revisited.  The returned witness is cached on whichever side the
+        # constraint is committed to, keeping descendants on the fast path.
+        hint = state.model_hint
+        taken_model = self.solver.check_context(state.solver_ctx,
+                                                taken_constraint,
+                                                prefer=hint)
+        fall_model = self.solver.check_context(state.solver_ctx, not_taken,
+                                               prefer=hint)
         successors = []
-        if taken_ok and fall_ok:
+        if taken_model is not None and fall_model is not None:
             child = state.fork()
             self.forks += 1
             if self.tracer is not None:
                 self.tracer.on_fork(state, child)
-            child.add_constraint(taken_constraint)
+            child.add_constraint(taken_constraint, model=taken_model)
             child.pc = target
-            state.add_constraint(not_taken)
+            state.add_constraint(not_taken, model=fall_model)
             state.pc = fallthrough
             successors = [state, child]
-        elif taken_ok:
-            state.add_constraint(taken_constraint)
+        elif taken_model is not None:
+            state.add_constraint(taken_constraint, model=taken_model)
             state.pc = target
             successors = [state]
-        elif fall_ok:
-            state.add_constraint(not_taken)
+        elif fall_model is not None:
+            state.add_constraint(not_taken, model=fall_model)
             state.pc = fallthrough
             successors = [state]
         else:

@@ -1,16 +1,27 @@
 """Bitvector expression language for symbolic execution.
 
-Expressions are immutable trees over named symbols and constants.  Smart
-constructors perform aggressive local simplification (constant folding,
-identity/annihilator elimination, extract-of-concat fusion) so that the
-expressions reaching the solver stay small -- the same role KLEE's
-expression rewriting plays.
+Expressions are immutable, *hash-consed* DAGs over named symbols and
+constants.  Smart constructors perform aggressive local simplification
+(constant folding, identity/annihilator elimination, extract-of-concat
+fusion) so that the expressions reaching the solver stay small -- the same
+role KLEE's expression rewriting plays.
+
+Three properties make expressions cheap to solve against (see DESIGN.md):
+
+* **structural interning** -- ``Expr.__new__`` returns the canonical node
+  for each distinct ``(kind, width, args, name, lo)`` tuple, so structural
+  equality *is* identity and a node is a sound dictionary/cache key;
+* **cached symbol sets** -- ``symbols()`` returns a frozenset computed once
+  per node and shared by every holder;
+* **compiled evaluation** -- ``compiled(expr)`` lowers a DAG once into a
+  flat Python function (postorder, no recursion, no per-node dispatch)
+  that maps a ``{symbol: int}`` model to the expression's value.
 
 Plain Python ints are used for fully concrete values throughout the engine;
 an :class:`Expr` only appears once a value actually depends on a symbol.
 """
 
-from dataclasses import dataclass, field
+import zlib
 
 _MASKS = {1: 1, 8: 0xFF, 16: 0xFFFF, 32: 0xFFFFFFFF}
 
@@ -19,40 +30,105 @@ def _mask(width):
     return (1 << width) - 1
 
 
-@dataclass(frozen=True)
 class Expr:
-    """A bitvector expression of ``width`` bits.
+    """A bitvector expression of ``width`` bits (interned).
 
     ``kind`` is one of: ``sym``, ``add sub and or xor shl shr sar mul divu
     remu``, ``not neg``, ``zext``, ``extract`` (args: operand; ``lo`` bit
     offset), ``concat`` (little-endian: args[0] is least significant).
     Comparison kinds (``eq ne slt sge ult uge``) have width 1.
+
+    Instances are hash-consed: constructing the same structure twice
+    returns the same object, so ``a is b`` iff ``a`` and ``b`` are
+    structurally equal.  Do not mutate nodes.
     """
 
-    kind: str
-    width: int
-    args: tuple = ()
-    name: str = ""
-    lo: int = 0
+    __slots__ = ("kind", "width", "args", "name", "lo",
+                 "_hash", "_symbols", "_program", "_stable")
+
+    _intern = {}
+
+    def __new__(cls, kind, width, args=(), name="", lo=0):
+        key = (kind, width, args, name, lo)
+        table = cls._intern
+        self = table.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        self.kind = kind
+        self.width = width
+        self.args = args
+        self.name = name
+        self.lo = lo
+        self._hash = hash(key)
+        self._symbols = None
+        self._program = None
+        self._stable = None
+        table[key] = self
+        return self
+
+    def __hash__(self):
+        return self._hash
+
+    # Interning makes identity equality complete: two structurally equal
+    # expressions are the same object, so the default object.__eq__ /
+    # __ne__ (identity) are exactly right and comparisons stay O(1).
 
     def symbols(self):
-        """The set of symbol names this expression depends on."""
-        out = set()
-        seen = set()
+        """The (frozen, cached) set of symbol names this depends on."""
+        cached = self._symbols
+        if cached is not None:
+            return cached
+        # Iterative bottom-up: resolve children first so deep DAGs do not
+        # hit the recursion limit; every node's set is computed once ever.
         stack = [self]
         while stack:
-            node = stack.pop()
-            if isinstance(node, int):
+            node = stack[-1]
+            if node._symbols is not None:
+                stack.pop()
                 continue
-            marker = id(node)
-            if marker in seen:
-                continue
-            seen.add(marker)
             if node.kind == "sym":
-                out.add(node.name)
-            else:
-                stack.extend(a for a in node.args if isinstance(a, Expr))
-        return out
+                node._symbols = frozenset((node.name,))
+                stack.pop()
+                continue
+            pending = [a for a in node.args
+                       if isinstance(a, Expr) and a._symbols is None]
+            if pending:
+                stack.extend(pending)
+                continue
+            out = frozenset()
+            for arg in node.args:
+                if isinstance(arg, Expr):
+                    out |= arg._symbols
+            node._symbols = out
+            stack.pop()
+        return self._symbols
+
+    def stable_hash(self):
+        """A structural hash stable across processes (unlike ``hash``,
+        which varies with string-hash randomization).  Used to seed the
+        solver's per-query fallback RNG deterministically."""
+        cached = self._stable
+        if cached is not None:
+            return cached
+        stack = [self]
+        while stack:
+            node = stack[-1]
+            if node._stable is not None:
+                stack.pop()
+                continue
+            pending = [a for a in node.args
+                       if isinstance(a, Expr) and a._stable is None]
+            if pending:
+                stack.extend(pending)
+                continue
+            parts = [node.kind, str(node.width), node.name, str(node.lo)]
+            for arg in node.args:
+                parts.append(str(arg) if isinstance(arg, int)
+                             else "#%08x" % arg._stable)
+            node._stable = zlib.crc32("|".join(parts).encode())
+            stack.pop()
+        return self._stable
 
     def __repr__(self):
         return "<%s:%d %s>" % (self.kind, self.width, self.name or
@@ -61,6 +137,18 @@ class Expr:
 
 #: Alias used where an expression is known to be a 1-bit condition.
 BoolExpr = Expr
+
+
+def clear_intern_cache():
+    """Drop the interning table and compiled-program caches (tests /
+    long-lived processes only).
+
+    Live expressions keep working; new structurally-equal constructions
+    will no longer be identical to pre-clear nodes, so never call this
+    while solver contexts hold constraints.
+    """
+    Expr._intern = {}
+    _CONJUNCTION_CACHE.clear()
 
 
 def is_concrete(value):
@@ -314,73 +402,192 @@ BINOP_BUILDERS = {
 }
 
 
-_BIN_FOLDS = {
-    "add": lambda x, y: x + y,
-    "sub": lambda x, y: x - y,
-    "and": lambda x, y: x & y,
-    "or": lambda x, y: x | y,
-    "xor": lambda x, y: x ^ y,
-    "shl": lambda x, y: x << (y & 31),
-    "shr": lambda x, y: x >> (y & 31),
-    "sar": lambda x, y: _signed32(x) >> (y & 31),
-    "mul": lambda x, y: x * y,
-    "divu": lambda x, y: x // y if y else 0,
-    "remu": lambda x, y: x % y if y else 0,
-}
+# ==========================================================================
+# Compiled evaluation
+#
+# A constraint DAG is lowered once into the source of a flat Python
+# function: one assignment per distinct node in postorder (shared subtrees
+# are emitted once), symbols read through ``model.get``, all semantics
+# identical to the old recursive evaluator.  The compiled function is
+# cached on the interned node, so every state/fork/query that reaches the
+# same constraint reuses the same program.
+
+_SIGNED = "(%s - 4294967296 if %s & 2147483648 else %s)"
 
 
-def evaluate(expr, model, memo=None):
+def _postorder(expr):
+    """Distinct Expr nodes of the DAG, children before parents."""
+    return _postorder_many((expr,))
+
+
+def _postorder_many(exprs):
+    """Distinct Expr nodes of several DAGs, children before parents."""
+    order = []
+    seen = set()
+    stack = [(e, False) for e in reversed(exprs) if isinstance(e, Expr)]
+    while stack:
+        node, expanded = stack.pop()
+        marker = id(node)
+        if expanded:
+            order.append(node)
+            continue
+        if marker in seen:
+            continue
+        seen.add(marker)
+        stack.append((node, True))
+        for arg in node.args:
+            if isinstance(arg, Expr) and id(arg) not in seen:
+                stack.append((arg, False))
+    return order
+
+
+def _compile_program(expr, roots=None):
+    """Lower one DAG (or, with ``roots``, a conjunction of 1-bit DAGs
+    sharing subtrees) into a flat evaluation function.
+
+    With ``roots`` the function returns a bitmask with bit *i* set iff
+    ``roots[i]`` evaluates to 1 -- the representation the solver's greedy
+    hill-climb scores against.
+    """
+    order = _postorder_many(roots) if roots is not None else _postorder(expr)
+    var = {}
+    lines = []
+
+    def ref(value):
+        return repr(value) if isinstance(value, int) else var[id(value)]
+
+    for index, node in enumerate(order):
+        name = "v%d" % index
+        var[id(node)] = name
+        kind = node.kind
+        mask = _mask(node.width)
+        if kind == "sym":
+            rhs = "g(%r, 0) & %d" % (node.name, mask)
+        elif kind == "zext":
+            rhs = ref(node.args[0])
+        elif kind == "extract":
+            rhs = "(%s >> %d) & %d" % (ref(node.args[0]), node.lo, mask)
+        elif kind == "concat":
+            shift = 0
+            pieces = []
+            for part in node.args:
+                part_width = 32 if isinstance(part, int) else part.width
+                masked = "(%s & %d)" % (ref(part), _mask(part_width))
+                pieces.append(masked if shift == 0
+                              else "(%s << %d)" % (masked, shift))
+                shift += part_width
+            rhs = " | ".join(pieces)
+        elif kind == "not":
+            rhs = "~%s & %d" % (ref(node.args[0]), mask)
+        elif kind == "neg":
+            rhs = "-%s & %d" % (ref(node.args[0]), mask)
+        elif kind in ("eq", "ne", "ult", "uge", "slt", "sge"):
+            a, b = ref(node.args[0]), ref(node.args[1])
+            if kind in ("slt", "sge"):
+                a = _SIGNED % (a, a, a)
+                b = _SIGNED % (b, b, b)
+            op = {"eq": "==", "ne": "!=", "ult": "<", "uge": ">=",
+                  "slt": "<", "sge": ">="}[kind]
+            rhs = "1 if %s %s %s else 0" % (a, op, b)
+        else:
+            a, b = ref(node.args[0]), ref(node.args[1])
+            if kind == "add":
+                body = "%s + %s" % (a, b)
+            elif kind == "sub":
+                body = "%s - %s" % (a, b)
+            elif kind == "and":
+                body = "%s & %s" % (a, b)
+            elif kind == "or":
+                body = "%s | %s" % (a, b)
+            elif kind == "xor":
+                body = "%s ^ %s" % (a, b)
+            elif kind == "shl":
+                body = "%s << (%s & 31)" % (a, b)
+            elif kind == "shr":
+                body = "%s >> (%s & 31)" % (a, b)
+            elif kind == "sar":
+                body = "%s >> (%s & 31)" % (_SIGNED % (a, a, a), b)
+            elif kind == "mul":
+                body = "%s * %s" % (a, b)
+            elif kind == "divu":
+                body = "(%s // %s if %s else 0)" % (a, b, b)
+            elif kind == "remu":
+                body = "(%s %% %s if %s else 0)" % (a, b, b)
+            else:  # pragma: no cover
+                raise TypeError("cannot compile kind %r" % (kind,))
+            rhs = "(%s) & %d" % (body, mask)
+        lines.append("    %s = %s" % (name, rhs))
+
+    if roots is not None:
+        result = " | ".join(
+            ref(root) if shift == 0 else "(%s << %d)" % (ref(root), shift)
+            for shift, root in enumerate(roots))
+    else:
+        result = var[id(expr)]
+    source = ("def _program(m):\n"
+              "    _c[0] += 1\n"
+              "    _c[1] += %d\n"
+              "    g = m.get\n"
+              "%s\n"
+              "    return %s\n") % (len(order), "\n".join(lines), result)
+    namespace = {"_c": _COUNTER_CELLS}
+    exec(compile(source, "<expr-program>", "exec"), namespace)
+    _COUNTER_CELLS[2] += 1
+    return namespace["_program"]
+
+
+#: Mutable cells shared with every compiled program:
+#: [program runs, node visits, programs compiled].  Deterministic -- the
+#: perf-regression budget tests assert against them via eval_counters().
+_COUNTER_CELLS = [0, 0, 0]
+
+
+def eval_counters():
+    """Snapshot of the compiled-evaluation counters (deterministic)."""
+    return {"program_runs": _COUNTER_CELLS[0],
+            "node_visits": _COUNTER_CELLS[1],
+            "programs": _COUNTER_CELLS[2]}
+
+
+def compiled(expr):
+    """The compiled evaluation program of ``expr`` (cached on the node).
+
+    Returns a function ``program(model) -> int`` with semantics identical
+    to :func:`evaluate`; unbound symbols read as 0.
+    """
+    program = expr._program
+    if program is None:
+        program = _compile_program(expr)
+        expr._program = program
+    return program
+
+
+_CONJUNCTION_CACHE = {}
+
+
+def compiled_conjunction(constraints):
+    """One program for a tuple of 1-bit constraints sharing subtrees.
+
+    Returns ``program(model) -> mask`` where bit *i* is set iff
+    ``constraints[i]`` is satisfied.  Shared subexpressions across the
+    conjunction are evaluated once per call -- the property the old
+    per-batch memo dict provided, without its per-node dict traffic.
+    """
+    program = _CONJUNCTION_CACHE.get(constraints)
+    if program is None:
+        program = _compile_program(None, roots=constraints)
+        _CONJUNCTION_CACHE[constraints] = program
+    return program
+
+
+def evaluate(expr, model):
     """Evaluate ``expr`` to a concrete int under ``model`` (name -> int).
 
-    Unbound symbols evaluate to 0.  Expressions are DAGs (byte extracts of
-    one load are reassembled by concat, so subtrees are shared); ``memo``
-    caches per-node results by identity so shared subtrees are evaluated
-    once instead of once per reference.  Callers evaluating many
-    expressions under the *same* model may pass one memo dict across the
-    batch; it must be discarded whenever the model changes.
+    Unbound symbols evaluate to 0.  Runs the node's compiled program
+    (built on first use, cached on the interned node), so shared subtrees
+    are evaluated once and repeated evaluations pay no traversal or
+    dispatch cost.
     """
     if isinstance(expr, int):
         return expr
-    if memo is None:
-        memo = {}
-    return _evaluate(expr, model, memo)
-
-
-def _evaluate(expr, model, memo):
-    if isinstance(expr, int):
-        return expr
-    key = id(expr)
-    cached = memo.get(key)
-    if cached is not None:
-        return cached[1]
-    kind = expr.kind
-    if kind == "sym":
-        value = model.get(expr.name, 0) & _mask(expr.width)
-    elif kind == "zext":
-        value = _evaluate(expr.args[0], model, memo)
-    elif kind == "extract":
-        value = (_evaluate(expr.args[0], model, memo) >> expr.lo) \
-            & _mask(expr.width)
-    elif kind == "concat":
-        value = 0
-        shift = 0
-        for part in expr.args:
-            width = 32 if isinstance(part, int) else part.width
-            value |= (_evaluate(part, model, memo) & _mask(width)) << shift
-            shift += width
-    elif kind == "not":
-        value = (~_evaluate(expr.args[0], model, memo)) & _mask(expr.width)
-    elif kind == "neg":
-        value = (-_evaluate(expr.args[0], model, memo)) & _mask(expr.width)
-    elif kind in _CMP_FOLDS:
-        a = _evaluate(expr.args[0], model, memo)
-        b = _evaluate(expr.args[1], model, memo)
-        value = 1 if _CMP_FOLDS[kind](a, b) else 0
-    else:
-        a = _evaluate(expr.args[0], model, memo)
-        b = _evaluate(expr.args[1], model, memo)
-        value = _BIN_FOLDS[kind](a, b) & _mask(expr.width)
-    # The node rides along in the entry so its id stays pinned for the
-    # memo's lifetime (ids of collected nodes can be recycled).
-    memo[key] = (expr, value)
-    return value
+    return compiled(expr)(model)

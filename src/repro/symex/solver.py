@@ -1,4 +1,4 @@
-"""Heuristic bitvector constraint solver.
+"""Heuristic bitvector constraint solver with incremental contexts.
 
 The queries symbolic driver execution generates are overwhelmingly
 comparisons of (chains of arithmetic/masking over) hardware-input symbols
@@ -9,35 +9,303 @@ solver decides them with a model-search strategy:
    (plus neighbours and boundary values) are candidate assignments;
 2. **greedy per-symbol search** -- hill-climb one symbol at a time over the
    candidate set, keeping the assignment maximizing satisfied constraints;
-3. **seeded random sampling** as a fallback.
+3. **seeded random sampling** as a fallback (seeded per query from the
+   constraints' structural hash, so results are reproducible and safe to
+   cache).
 
 A found model proves satisfiability; failure to find one is treated as
 infeasible.  This mirrors how a timeout-bounded KLEE/STP behaves in
 practice (paths whose feasibility cannot be established in budget are
 dropped), and is documented as a substitution in DESIGN.md.
+
+Solving is *incremental*: a :class:`SolverContext` (one per execution
+state, forked with it) maintains the path constraints partitioned into
+symbol-connected components with a union-find, each component carrying a
+cached witness model.  A new branch constraint only touches the components
+its symbols connect to; every other component reuses its witness.  On top
+of that, solved components are memoized on the solver in a KLEE-style
+model cache keyed by the interned constraint set, so sibling forks and
+re-explorations of the same path prefix never re-search.
 """
 
 import itertools
 import random
+import zlib
 
-from repro.symex.expr import Expr, evaluate
+from repro.symex.expr import Expr, compiled, compiled_conjunction, evaluate
 
 _BOUNDARY_VALUES = (0, 1, 2, 3, 4, 5, 6, 7, 8, 0x10, 0x20, 0x40, 0x7F, 0x80,
                     0xFF, 0x100, 0x5EA, 0x5EB, 0x600, 0xFFFF, 0x10000,
                     0x7FFFFFFF, 0x80000000, 0xFFFFFFFE, 0xFFFFFFFF)
+
+#: Cache sentinel for components the search failed to satisfy.
+_UNSAT = object()
+
+
+class _Component:
+    """One symbol-connected slice of a context's path constraints.
+
+    Treated as immutable: merges and witness updates build a new instance,
+    so forked contexts can share components structurally.
+    """
+
+    __slots__ = ("constraints", "members", "symbols", "model")
+
+    def __init__(self, constraints, members, symbols, model):
+        self.constraints = constraints      # tuple, insertion order
+        self.members = members              # frozenset of the tuple
+        self.symbols = symbols              # frozenset of symbol names
+        self.model = model                  # witness dict or None (dirty)
+
+    def with_model(self, model):
+        return _Component(self.constraints, self.members, self.symbols,
+                          model)
+
+
+class SolverContext:
+    """Per-state incremental view of the path constraints.
+
+    Maintains symbol -> component membership with a union-find as
+    constraints are added, replacing the O(n^2) re-partition the solver
+    previously ran on every query.  Forks share component objects
+    copy-on-write, so forking is O(symbols) dictionary copies.
+    """
+
+    __slots__ = ("_parent", "_comps", "ground_false")
+
+    def __init__(self):
+        self._parent = {}       # symbol -> parent symbol (union-find)
+        self._comps = {}        # root symbol -> _Component
+        self.ground_false = False
+
+    # -- union-find ----------------------------------------------------
+
+    def _find(self, symbol):
+        parent = self._parent
+        root = symbol
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(symbol, symbol) != root:
+            parent[symbol], symbol = root, parent[symbol]
+        return root
+
+    # -- queries -------------------------------------------------------
+
+    def components(self):
+        """The current components (arbitrary but deterministic order)."""
+        return self._comps.values()
+
+    def affected(self, symbols):
+        """Components any of ``symbols`` belongs to."""
+        seen = set()
+        out = []
+        for symbol in symbols:
+            root = self._find(symbol)
+            comp = self._comps.get(root)
+            if comp is not None and id(comp) not in seen:
+                seen.add(id(comp))
+                out.append(comp)
+        return out
+
+    def constraint_count(self):
+        return sum(len(c.constraints) for c in self._comps.values())
+
+    # -- updates -------------------------------------------------------
+
+    def set_model(self, component, model):
+        """Attach a witness to ``component`` (replaces the instance)."""
+        root = self._find(next(iter(component.symbols)))
+        self._comps[root] = component.with_model(model)
+
+    def add(self, constraint, model=None):
+        """Add a path constraint, merging the components it connects.
+
+        ``model``, when given, must be a witness satisfying the new
+        constraint *and* every constraint of the components it touches; it
+        becomes the merged component's cached model.  Without a witness
+        the merged component tries to extend the old witnesses past the
+        new constraint, and goes dirty (re-solved lazily) if that fails.
+        """
+        symbols = constraint.symbols()
+        if not symbols:
+            if evaluate(constraint, {}) != 1:
+                self.ground_false = True
+            return
+        parent = self._parent
+        roots = []
+        for symbol in symbols:
+            root = self._find(symbol)
+            if root not in roots:
+                roots.append(root)
+        comps = [self._comps[r] for r in roots if r in self._comps]
+
+        if len(comps) == 1 and constraint in comps[0].members \
+                and symbols <= comps[0].symbols:
+            if model is not None:
+                merged_syms = comps[0].symbols
+                self.set_model(comps[0], {s: model.get(s, 0)
+                                          for s in merged_syms})
+            return
+
+        constraints = []
+        members = set()
+        merged_syms = set(symbols)
+        for comp in comps:
+            constraints.extend(comp.constraints)
+            members.update(comp.members)
+            merged_syms |= comp.symbols
+        if constraint not in members:
+            constraints.append(constraint)
+            members.add(constraint)
+
+        new_root = roots[0]
+        for root in roots[1:]:
+            parent[root] = new_root
+            self._comps.pop(root, None)
+        for symbol in symbols:
+            if parent.get(symbol, symbol) != new_root and symbol != new_root:
+                parent[symbol] = new_root
+
+        if model is not None:
+            witness = {s: model.get(s, 0) for s in merged_syms}
+        else:
+            witness = self._merge_witness(comps, constraint, merged_syms)
+        self._comps[new_root] = _Component(tuple(constraints),
+                                           frozenset(members),
+                                           frozenset(merged_syms), witness)
+
+    @staticmethod
+    def _merge_witness(comps, constraint, merged_syms):
+        """Try to extend the old component witnesses past ``constraint``."""
+        union = {}
+        for comp in comps:
+            if comp.model is None:
+                return None
+            union.update(comp.model)
+        if compiled(constraint)(union) != 1:
+            return None
+        return {s: union.get(s, 0) for s in merged_syms}
+
+    def fork(self):
+        child = SolverContext.__new__(SolverContext)
+        child._parent = dict(self._parent)
+        child._comps = dict(self._comps)
+        child.ground_false = self.ground_false
+        return child
 
 
 class Solver:
     """Model finder over conjunctions of 1-bit constraint expressions."""
 
     def __init__(self, seed=0xC0FFEE, random_tries=48, greedy_passes=3):
-        self._rng = random.Random(seed)
+        self._seed = seed
         self.random_tries = random_tries
         self.greedy_passes = greedy_passes
         self.queries = 0
         self.sat_results = 0
+        #: ground-truth searches actually run (cache/fast-path misses)
+        self.comp_solves = 0
+        self.cache_hits = 0
+        self.fast_path_hits = 0
+        self._model_cache = {}
 
     # ------------------------------------------------------------------
+    # Incremental (context) API
+
+    def check_context(self, ctx, extra=None, prefer=None):
+        """Feasibility of ``ctx``'s constraints plus optional ``extra``.
+
+        Returns a witness model covering the components ``extra`` touches
+        (plus ``prefer`` pass-through), or ``None`` when infeasible.  Does
+        not add ``extra`` to the context; cached witnesses for components
+        the probe does not touch are reused untouched, which is what makes
+        per-branch feasibility O(new component) instead of O(path).
+        """
+        self.queries += 1
+        if ctx.ground_false:
+            return None
+        prefer = prefer or {}
+        for comp in list(ctx.components()):
+            if comp.model is None:
+                solved = self._component_model(comp.constraints,
+                                               comp.symbols, prefer)
+                if solved is None:
+                    return None
+                ctx.set_model(comp, solved)
+
+        if extra is None:
+            merged = dict(prefer)
+            for comp in ctx.components():
+                merged.update(comp.model)
+            self.sat_results += 1
+            return merged
+
+        symbols = extra.symbols()
+        affected = ctx.affected(symbols)
+        env = {}
+        for comp in affected:
+            env.update(comp.model)
+        for symbol in symbols:
+            if symbol not in env and symbol in prefer:
+                env[symbol] = prefer[symbol]
+        if compiled(extra)(env) == 1:
+            # Fast path: the accumulated witnesses already satisfy the
+            # new constraint, so the conjunction is satisfiable as-is.
+            self.fast_path_hits += 1
+            self.sat_results += 1
+            witness = dict(env)
+            for symbol in symbols:
+                witness.setdefault(symbol, 0)
+            return witness
+
+        constraints = []
+        members = set()
+        all_symbols = set(symbols)
+        for comp in affected:
+            for constraint in comp.constraints:
+                if constraint not in members:
+                    members.add(constraint)
+                    constraints.append(constraint)
+            all_symbols |= comp.symbols
+        if extra not in members:
+            constraints.append(extra)
+        solved = self._component_model(tuple(constraints), all_symbols,
+                                       prefer)
+        if solved is None:
+            return None
+        self.sat_results += 1
+        return solved
+
+    def concretize_context(self, ctx, expr, prefer=None):
+        """Pick a concrete value for ``expr`` consistent with the
+        context's constraints; returns ``(value, model)`` or
+        ``(None, None)``.
+
+        Mirrors the legacy :meth:`concretize` exactly: each component
+        first tries the ``prefer`` projection (so concretizations stay
+        stable along a path) and only searches when the hint fails.
+        """
+        self.queries += 1
+        if ctx.ground_false:
+            return None, None
+        prefer = prefer or {}
+        merged = dict(prefer)
+        for comp in ctx.components():
+            projection = {s: prefer.get(s, 0) for s in comp.symbols}
+            conjunction = compiled_conjunction(comp.constraints)
+            if conjunction(projection) == (1 << len(comp.constraints)) - 1:
+                merged.update(projection)
+                continue
+            solved = self._component_model(comp.constraints, comp.symbols,
+                                           prefer)
+            if solved is None:
+                return None, None
+            merged.update(solved)
+        self.sat_results += 1
+        return evaluate(expr, merged), merged
+
+    # ------------------------------------------------------------------
+    # Legacy list API (kept for tests and ad-hoc queries)
 
     def find_model(self, constraints, prefer=None):
         """Return a satisfying ``{symbol: value}`` or ``None``.
@@ -54,69 +322,23 @@ class Solver:
             self.sat_results += 1
             return dict(prefer or {})
 
-        # Slice the conjunction into symbol-connected components and solve
-        # each independently -- sound, and essential for keeping per-branch
-        # queries cheap as path constraints accumulate.
+        # Partition through a throwaway context: one union-find
+        # implementation (SolverContext.add) serves both the incremental
+        # and the list API.
+        ctx = SolverContext()
+        for constraint in constraints:
+            ctx.add(constraint)
+        if ctx.ground_false:
+            return None
         merged = dict(prefer or {})
-        for component in self._slice(constraints):
-            result = self._solve_component(component, merged)
+        for comp in ctx.components():
+            result = self._component_model(comp.constraints, comp.symbols,
+                                           merged)
             if result is None:
                 return None
             merged.update(result)
         self.sat_results += 1
         return merged
-
-    @staticmethod
-    def _slice(constraints):
-        """Partition constraints into symbol-connected components."""
-        symbol_sets = []
-        for constraint in constraints:
-            symbol_sets.append(constraint.symbols()
-                               if isinstance(constraint, Expr) else set())
-        components = []
-        assigned = [None] * len(constraints)
-        for i, symbols in enumerate(symbol_sets):
-            if assigned[i] is not None:
-                continue
-            group = [i]
-            group_symbols = set(symbols)
-            changed = True
-            while changed:
-                changed = False
-                for j in range(len(constraints)):
-                    if assigned[j] is None and j not in group \
-                            and symbol_sets[j] & group_symbols:
-                        group.append(j)
-                        group_symbols |= symbol_sets[j]
-                        changed = True
-            for j in group:
-                assigned[j] = len(components)
-            components.append([constraints[j] for j in group])
-        return components
-
-    def _solve_component(self, constraints, prefer):
-        symbols = set()
-        for constraint in constraints:
-            symbols |= constraint.symbols()
-        symbols = sorted(symbols)
-        if not symbols:
-            # Fully concrete constraints that didn't fold: evaluate.
-            if all(evaluate(c, {}) for c in constraints):
-                return {}
-            return None
-
-        candidates = self._mine_candidates(constraints)
-        model = {name: prefer.get(name, 0) for name in symbols}
-
-        if self._satisfied(constraints, model):
-            return model
-
-        result = self._greedy_search(constraints, symbols, candidates, model)
-        if result is not None:
-            return result
-
-        base = {name: prefer[name] for name in symbols if name in prefer}
-        return self._random_search(constraints, symbols, candidates, base)
 
     def is_feasible(self, constraints):
         """True when a model was found for the conjunction."""
@@ -131,16 +353,65 @@ class Solver:
         return evaluate(expr, model), model
 
     # ------------------------------------------------------------------
+    # Component solving + model cache
 
-    @staticmethod
-    def _satisfied(constraints, model):
-        memo = {}
-        return all(evaluate(c, model, memo) == 1 for c in constraints)
+    def _component_model(self, constraints, symbols, prefer):
+        """Solve one component (cached).
 
-    @staticmethod
-    def _score(constraints, model):
-        memo = {}
-        return sum(1 for c in constraints if evaluate(c, model, memo) == 1)
+        The cache key is the interned constraint set plus the relevant
+        ``prefer`` projection -- sound because interning makes a
+        constraint set's identity structural, and the search below is a
+        deterministic function of exactly those inputs.  Subset/superset
+        reuse: a cached model for the set minus the newest constraint is
+        re-tried on the full set before searching from scratch.
+        """
+        projection = tuple(sorted((s, prefer[s]) for s in symbols
+                                  if s in prefer))
+        members = frozenset(constraints)
+        key = (members, projection)
+        cached = self._model_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return None if cached is _UNSAT else cached
+
+        # Superset reuse (KLEE-style): a model found for this set minus
+        # its most recent constraint often satisfies the new one too.
+        if len(constraints) > 1:
+            subset_key = (frozenset(constraints[:-1]), projection)
+            subset = self._model_cache.get(subset_key)
+            if subset is not None and subset is not _UNSAT \
+                    and compiled(constraints[-1])(subset) == 1:
+                model = dict(subset)
+                for symbol in constraints[-1].symbols():
+                    model.setdefault(symbol, 0)
+                self.cache_hits += 1
+                self._model_cache[key] = model
+                return model
+
+        model = self._search(list(constraints), symbols, prefer)
+        self._model_cache[key] = _UNSAT if model is None else model
+        return model
+
+    def _search(self, constraints, symbols, prefer):
+        """The ground-truth model search (uncached)."""
+        self.comp_solves += 1
+        symbols = sorted(symbols)
+        programs = [compiled(c) for c in constraints]
+        model = {name: prefer.get(name, 0) for name in symbols}
+        if all(p(model) == 1 for p in programs):
+            return model
+
+        candidates = self._mine_candidates(constraints)
+        result = self._greedy_search(constraints, programs, symbols,
+                                     candidates, model)
+        if result is not None:
+            return result
+
+        base = {name: prefer[name] for name in symbols if name in prefer}
+        return self._random_search(constraints, programs, symbols,
+                                   candidates, base)
+
+    # ------------------------------------------------------------------
 
     def _mine_candidates(self, constraints):
         mined = set(_BOUNDARY_VALUES)
@@ -167,72 +438,114 @@ class Solver:
                 stack.extend(node.args)
         return sorted(mined)
 
-    def _greedy_search(self, constraints, symbols, candidates, model):
+    @staticmethod
+    def _satisfied_mask(programs, model):
+        mask = 0
+        bit = 1
+        for program in programs:
+            if program(model) == 1:
+                mask |= bit
+            bit <<= 1
+        return mask
+
+    def _greedy_search(self, constraints, programs, symbols, candidates,
+                       model):
         model = dict(model)
-        memo = {}
-        satisfied = [evaluate(c, model, memo) == 1 for c in constraints]
-        best_score = sum(satisfied)
-        target = len(constraints)
+        satisfied = self._satisfied_mask(programs, model)
+        full = (1 << len(constraints)) - 1
         # Changing one symbol can only flip constraints that mention it, so
-        # the hill climb rescoores just those.
-        by_symbol = {name: [] for name in symbols}
+        # the hill climb scores candidates against a compiled conjunction
+        # of just that slice (subtrees shared across the slice are
+        # evaluated once per candidate).  Slice tuples only change when a
+        # new constraint mentions the symbol, so the conjunction cache
+        # absorbs component growth elsewhere.
+        by_symbol = {}
+        slice_masks = {name: 0 for name in symbols}
+        indices = {name: [] for name in symbols}
         for index, constraint in enumerate(constraints):
+            bit = 1 << index
             for name in constraint.symbols():
-                if name in by_symbol:
-                    by_symbol[name].append(index)
+                if name in slice_masks:
+                    slice_masks[name] |= bit
+                    indices[name].append(index)
+        for name in symbols:
+            if indices[name]:
+                by_symbol[name] = (compiled_conjunction(
+                    tuple(constraints[i] for i in indices[name])),
+                    indices[name])
         for _ in range(self.greedy_passes):
             improved = False
             for name in symbols:
-                affected = by_symbol[name]
-                if not affected:
+                entry = by_symbol.get(name)
+                if entry is None:
                     continue
+                scorer, slice_indices = entry
+                slice_size = len(slice_indices)
                 original = model[name]
                 best_value = original
-                best_local = sum(1 for i in affected if satisfied[i])
+                best_local = (satisfied & slice_masks[name]).bit_count()
+                if best_local == slice_size:
+                    # Every affected constraint already holds; no strictly
+                    # better candidate exists, so the scan is skipped.
+                    continue
                 for value in candidates:
                     if value == original:
                         continue
                     model[name] = value
-                    memo = {}
-                    local = sum(1 for i in affected
-                                if evaluate(constraints[i], model, memo) == 1)
+                    local = scorer(model).bit_count()
                     if local > best_local:
                         best_local = local
                         best_value = value
+                        if best_local == slice_size:
+                            break
                 model[name] = best_value
                 if best_value != original:
                     improved = True
-                    memo = {}
-                    for i in affected:
-                        satisfied[i] = \
-                            evaluate(constraints[i], model, memo) == 1
-                    best_score = sum(satisfied)
-                    if best_score == target:
+                    # Only this symbol's slice can have flipped: patch its
+                    # bits back into the global mask from the slice score.
+                    local = scorer(model)
+                    patched = 0
+                    for offset, index in enumerate(slice_indices):
+                        if (local >> offset) & 1:
+                            patched |= 1 << index
+                    satisfied = (satisfied & ~slice_masks[name]) | patched
+                    if satisfied == full:
                         return model
             if not improved:
                 break
-        if best_score == target:
+        if satisfied == full:
             return model
         return None
 
-    def _random_search(self, constraints, symbols, candidates, base):
+    def _query_rng(self, constraints, base):
+        """A fresh RNG seeded from the query's structure, so the random
+        fallback is a deterministic function of the query (and therefore
+        safe to memoize) instead of depending on global solver history."""
+        digest = zlib.crc32(repr(sorted(
+            c.stable_hash() for c in constraints)).encode(), self._seed)
+        digest = zlib.crc32(repr(sorted(base.items())).encode(), digest)
+        return random.Random(digest)
+
+    def _random_search(self, constraints, programs, symbols, candidates,
+                       base):
         pool = candidates or [0]
+        rng = self._query_rng(constraints, base)
         for _ in range(self.random_tries):
             model = dict(base)
             for name in symbols:
-                if self._rng.random() < 0.5:
-                    model[name] = self._rng.choice(pool)
+                if rng.random() < 0.5:
+                    model[name] = rng.choice(pool)
                 else:
-                    model[name] = self._rng.getrandbits(32)
+                    model[name] = rng.getrandbits(32)
             # Pairwise combinations of mined values matter for two-symbol
             # equalities; mix one more pass of single-symbol repair.
-            if self._satisfied(constraints, model):
+            if all(p(model) == 1 for p in programs):
                 return model
             for name, value in itertools.islice(
                     itertools.product(symbols, pool), 64):
                 saved = model[name]
                 model[name] = value
-                if self._satisfied(constraints, model):
+                if all(p(model) == 1 for p in programs):
                     return model
                 model[name] = saved
         return None

@@ -12,6 +12,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.layout import HEAP_BASE
+from repro.symex.solver import SolverContext
 
 
 class PathStatus(enum.Enum):
@@ -53,12 +54,20 @@ class SymState:
     """One path through the driver."""
 
     def __init__(self, pc, regs, memory, constraints=None, os=None,
-                 parent=None):
+                 parent=None, solver_ctx=None):
         self.id = next(_state_ids)
         self.pc = pc
         self.regs = list(regs)
         self.memory = memory
         self.constraints = list(constraints or [])
+        #: incremental solver view of the path constraints (union-find
+        #: components with cached witness models; see symex.solver)
+        if solver_ctx is None:
+            solver_ctx = SolverContext()
+            for constraint in self.constraints:
+                if not isinstance(constraint, int):
+                    solver_ctx.add(constraint)
+        self.solver_ctx = solver_ctx
         self.os = os or OsContext()
         self.parent = parent
         self.status = PathStatus.RUNNING
@@ -87,7 +96,8 @@ class SymState:
         path (and vice versa).
         """
         child = SymState(self.pc, self.regs, self.memory.fork(),
-                         self.constraints, self.os.fork(), parent=self)
+                         self.constraints, self.os.fork(), parent=self,
+                         solver_ctx=self.solver_ctx.fork())
         child.block_counts = dict(self.block_counts)
         child.loop_suspects = set(self.loop_suspects)
         prefix = self.trace_chain + [self.trace_records]
@@ -97,9 +107,17 @@ class SymState:
         self.trace_records = []
         return child
 
-    def add_constraint(self, constraint):
+    def add_constraint(self, constraint, model=None):
+        """Append a path constraint.
+
+        ``model``, when provided, is a witness satisfying the constraint
+        together with the components it touches (e.g. the model the
+        feasibility check that admitted this constraint found); caching it
+        on the solver context keeps later branch checks on the fast path.
+        """
         if not isinstance(constraint, int):
             self.constraints.append(constraint)
+            self.solver_ctx.add(constraint, model=model)
         elif constraint == 0:
             self.status = PathStatus.ERROR
 

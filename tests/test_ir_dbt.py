@@ -99,6 +99,32 @@ class TestTranslation:
         assert second is not first
         assert len(second.instr_addrs) == 2
 
+    def test_cache_invalidation_on_mid_block_patch(self):
+        """Code patched *past* the first instruction must retranslate --
+        a cache keyed only on the block's first instruction serves a stale
+        translation here."""
+        machine = load("""
+        .export main
+        main:
+            movi r1, 1
+            movi r2, 2
+            halt
+        """)
+        translator = Translator(reader(machine))
+        first = translator.get(TEXT_BASE)
+        assert len(first.instr_addrs) == 3
+        from repro.isa import INSTR_SIZE, Instruction, Op, encode
+        # Patch the *second* instruction (movi r2, 2 -> movi r2, 99).
+        machine.memory.write_bytes(TEXT_BASE + INSTR_SIZE,
+                                   encode(Instruction(Op.MOVI, 2, imm=99)))
+        second = translator.get(TEXT_BASE)
+        assert second is not first
+        patched = [op for op in second.ops
+                   if isinstance(op, N.IrConst) and op.value == 99]
+        assert patched, "stale translation served for mid-block patch"
+        # And an unchanged block is still a cache hit afterwards.
+        assert translator.get(TEXT_BASE) is second
+
     def test_printer_smoke(self):
         machine = load("""
         .export main
