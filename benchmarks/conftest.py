@@ -1,11 +1,14 @@
 """Shared fixtures for the benchmark harness.
 
-The pipeline cache is warmed once per session so the per-table/figure
-benches measure their experiment, not redundant RevNIC re-runs.  The
-warm-up also emits ``BENCH_pipeline.json`` at the repo root -- per-driver
-pipeline wall seconds plus solver/executor counters -- which CI uploads as
-an artifact; ``benchmarks/BENCH_pipeline.baseline.json`` is the committed
-baseline the perf trajectory is tracked against.
+The artifact cache is warmed once per session -- cold runs fan out across
+worker processes through :mod:`repro.pipeline`, warm sessions load
+artifacts from the on-disk store -- so the per-table/figure benches
+measure their experiment, not redundant RevNIC re-runs.  The warm-up also
+emits ``BENCH_pipeline.json`` at the repo root: per-driver pipeline wall
+seconds plus solver/executor counters, the serial sum, and the measured
+wall-clock of this session's (possibly parallel or cached) warm-up --
+which CI uploads as an artifact; ``benchmarks/BENCH_pipeline.baseline.json``
+is the committed baseline the perf trajectory is tracked against.
 """
 
 import json
@@ -18,20 +21,28 @@ from repro.eval.runner import get_cache
 _BENCH_COUNTERS = ("wall_seconds", "blocks_executed", "forks",
                    "solver_queries", "solver_comp_solves",
                    "solver_cache_hits", "solver_fast_path_hits",
-                   "eval_program_runs", "eval_node_visits")
+                   "eval_program_runs", "eval_node_visits",
+                   "hw_reads", "hw_writes")
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def _emit_bench_json(runs):
+def _emit_bench_json(orchestrator, artifacts):
     report = {"drivers": {}, "total_wall_seconds": 0.0}
-    for run in runs:
-        stats = run.result.stats
+    for artifact in artifacts:
+        stats = artifact.stats
         entry = {key: stats[key] for key in _BENCH_COUNTERS}
-        entry["coverage"] = run.result.coverage_fraction
-        report["drivers"][run.name] = entry
+        entry["coverage"] = artifact.coverage_fraction
+        entry["source"] = artifact.source
+        report["drivers"][artifact.name] = entry
         report["total_wall_seconds"] += stats["wall_seconds"]
     report["total_wall_seconds"] = round(report["total_wall_seconds"], 3)
+    # The orchestration numbers: how long *this* session's warm-up took
+    # (parallel fan-out or cache loads) next to the summed per-driver
+    # pipeline seconds it replaces.
+    report["warm_wall_seconds"] = round(
+        orchestrator.last_warm_seconds or 0.0, 3)
+    report["warm_mode"] = orchestrator.last_warm_mode
     path = os.path.join(_REPO_ROOT, "BENCH_pipeline.json")
     with open(path, "w") as handle:
         json.dump(report, handle, indent=1, sort_keys=True)
@@ -41,10 +52,10 @@ def _emit_bench_json(runs):
 
 @pytest.fixture(scope="session")
 def cache():
-    """Process-wide pipeline cache, pre-warmed for all four drivers."""
+    """Process-wide pipeline orchestrator, pre-warmed for all drivers."""
     shared = get_cache()
-    runs = shared.all_drivers()
-    _emit_bench_json(runs)
+    artifacts = shared.all_drivers()
+    _emit_bench_json(shared, artifacts)
     return shared
 
 

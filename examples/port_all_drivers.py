@@ -2,15 +2,16 @@
 """Port the whole driver corpus to every target OS (the paper's Table 1
 "RevNIC ported from Windows to ..." column, live).
 
-For each of the four proprietary binaries, reverse engineer once, then
-instantiate the synthesized driver on each applicable target OS and verify
-the data path (send one frame, receive one frame).
+For each of the four proprietary binaries, reverse engineer once -- the
+pipeline orchestrator fans the four runs out across worker processes (and
+serves them from the on-disk artifact cache on a second invocation) --
+then instantiate the synthesized driver on each applicable target OS and
+verify the data path (send one frame, receive one frame).
 """
 
-from repro.drivers import DRIVERS, build_driver, device_class
+from repro.drivers import DRIVERS, device_class
 from repro.net import EthernetFrame, EtherType
-from repro.revnic import RevNic, RevNicConfig
-from repro.synth import synthesize
+from repro.pipeline import PipelineOrchestrator
 from repro.targetos import TARGET_OSES
 from repro.templates import NicTemplate
 
@@ -33,21 +34,19 @@ def frame_bytes(payload=b"x" * 64):
 
 def main():
     total = 0
+    orchestrator = PipelineOrchestrator()
+    artifacts = orchestrator.warm()
+    print("warm-up: %.1fs (%s)\n" % (orchestrator.last_warm_seconds,
+                                     orchestrator.last_warm_mode))
     for name in sorted(DRIVERS):
-        image = build_driver(name)
-        engine = RevNic(image, RevNicConfig(
-            driver_name=name, pci=device_class(name).PCI))
-        result = engine.run()
-        synthesized = synthesize(result,
-                                 import_names=engine.loaded.import_names,
-                                 translator=engine.translator)
-        print("%s: coverage %.1f%%, %d functions recovered"
-              % (name, 100 * result.coverage_fraction,
-                 synthesized.report.function_count))
+        artifact = artifacts[name]
+        print("%s: coverage %.1f%%, %d functions recovered [%s]"
+              % (name, 100 * artifact.coverage_fraction,
+                 artifact.report.function_count, artifact.source))
         for os_name in PORTS[name]:
             target = TARGET_OSES[os_name](device_class(name), mac=MAC)
-            template = NicTemplate(synthesized, target,
-                                   original_image=image)
+            template = NicTemplate(artifact.synthesized, target,
+                                   original_image=artifact.image)
             template.initialize()
             frame = frame_bytes()
             template.send(frame)

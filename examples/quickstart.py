@@ -32,9 +32,10 @@ def main():
           % (result.stats["blocks_executed"],
              100 * result.coverage_fraction, len(result.entry_points)))
 
-    # 3. Synthesize: traces -> CFG -> C code + executable module.
-    driver = synthesize(result, import_names=engine.loaded.import_names,
-                        translator=engine.translator)
+    # 3. Synthesize: traces -> CFG -> C code + executable module.  The
+    #    result is self-contained (captured code window + import names),
+    #    so synthesis needs nothing from the live engine.
+    driver = synthesize(result)
     print(driver.report.describe())
     print("\n--- first lines of generated C ---")
     print("\n".join(driver.c_source.splitlines()[:20]))

@@ -22,9 +22,14 @@ def main():
         Phase("initialize"),
         Phase("isr"),
     ]
+    # Keep the full access log for the demo printout (the default policy
+    # only keeps bounded counters).
+    from repro.symex.executor import HardwarePolicy
+
     engine = RevNic(image, RevNicConfig(driver_name="rtl8029",
                                         pci=device_class("rtl8029").PCI),
-                    script=script)
+                    script=script,
+                    hardware=HardwarePolicy(retain_log=True))
     result = engine.run()
 
     isr_segments = [s for s in result.trace.segments

@@ -6,6 +6,6 @@ passes the current program counter to the DBT, which translates the code
 until it finds an instruction altering the control flow" (section 3.4).
 """
 
-from repro.dbt.translator import Translator, translate_block
+from repro.dbt.translator import CodeWindow, Translator, translate_block
 
-__all__ = ["Translator", "translate_block"]
+__all__ = ["CodeWindow", "Translator", "translate_block"]

@@ -201,6 +201,41 @@ def _translate_instr(em, instr, pc, next_pc):
     raise DecodeError("cannot translate opcode %s at 0x%08x" % (op, pc))
 
 
+class CodeWindow:
+    """An immutable snapshot of loaded guest code.
+
+    Captured by the engine at the end of a run (after relocation), it is a
+    pure ``read_code`` source: the synthesizer's missing-block fallback can
+    force translation at any address inside the window without a live
+    machine or engine -- which is what makes reverse-engineering results
+    serializable (see :mod:`repro.pipeline.artifact`).
+    """
+
+    __slots__ = ("base", "data")
+
+    def __init__(self, base, data):
+        self.base = base
+        self.data = bytes(data)
+
+    @property
+    def size(self):
+        return len(self.data)
+
+    def read(self, address, size):
+        """Raw code bytes at guest ``address`` (zero-filled past the end)."""
+        offset = address - self.base
+        if offset < 0:
+            raise DecodeError("address 0x%08x below code window" % address)
+        chunk = self.data[offset:offset + size]
+        if len(chunk) < size:
+            chunk += b"\x00" * (size - len(chunk))
+        return chunk
+
+    def translator(self):
+        """A fresh caching :class:`Translator` over this window."""
+        return Translator(self.read)
+
+
 class Translator:
     """Caching DBT front end.
 

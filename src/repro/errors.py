@@ -62,3 +62,7 @@ class SynthesisError(ReproError):
 
 class TemplateError(ReproError):
     """Raised when a driver template cannot be instantiated."""
+
+
+class ArtifactError(ReproError):
+    """Raised when a serialized run artifact cannot be decoded."""

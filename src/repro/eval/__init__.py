@@ -2,10 +2,13 @@
 
 Each ``table*``/``fig*`` module exposes a ``compute()`` returning structured
 data and a ``render()`` printing the same rows/series the paper reports.
-:mod:`repro.eval.runner` caches the expensive pipeline stages (RevNIC runs,
-synthesis) so all experiments in one process share them.
+The expensive pipeline stages (RevNIC runs, synthesis) are shared through
+:mod:`repro.pipeline`: every experiment consumes serializable
+:class:`~repro.pipeline.artifact.RunArtifact` objects from the process-wide
+orchestrator, which fans cold runs out across worker processes and caches
+artifacts on disk between sessions.
 """
 
-from repro.eval.runner import PipelineCache, get_cache
+from repro.eval.runner import PipelineOrchestrator, get_cache
 
-__all__ = ["PipelineCache", "get_cache"]
+__all__ = ["PipelineOrchestrator", "get_cache"]

@@ -112,7 +112,7 @@ def fig8_compute(cache=None):
     out = {}
     for name in ("rtl8029", "smc91c111", "rtl8139", "pcnet"):
         run = cache.run(name)
-        out[name] = list(run.result.coverage.timeline)
+        out[name] = list(run.coverage.timeline)
     return out
 
 

@@ -93,7 +93,7 @@ def measure_original(driver_name, sizes, packets=6):
 
 def measure_synthesized(run, target_os_name, sizes, packets=6):
     """Measure the synthesized driver's per-packet send cost on a target
-    OS.  ``run`` is a :class:`~repro.eval.runner.PipelineRun`."""
+    OS.  ``run`` is a :class:`~repro.pipeline.artifact.RunArtifact`."""
     info = DRIVERS[run.name]
     out = {}
     for size in sizes:

@@ -1,60 +1,24 @@
-"""Shared, cached pipeline runs for the evaluation."""
+"""Shared pipeline runs for the evaluation.
 
-from dataclasses import dataclass
+Thin compatibility front over :mod:`repro.pipeline`: the old in-process
+singleton ``PipelineCache`` is replaced by the artifact-based
+:class:`~repro.pipeline.orchestrator.PipelineOrchestrator` -- runs fan
+out across worker processes, results are serializable
+:class:`~repro.pipeline.artifact.RunArtifact` objects, and a
+content-addressed on-disk store makes repeated sessions skip
+re-exploration entirely.  ``get_cache().run(name)`` keeps its signature;
+it now returns an artifact instead of a bundle of live engine objects.
+"""
 
-from repro.drivers import DRIVERS, build_driver, device_class
-from repro.revnic import RevNic, RevNicConfig
-from repro.synth import synthesize
+from repro.pipeline.orchestrator import (PipelineOrchestrator,
+                                         get_orchestrator)
 
 MAC = b"\x52\x54\x00\xAA\xBB\xCC"
 
 
-@dataclass
-class PipelineRun:
-    """One driver's reverse-engineering run and synthesis output."""
-
-    name: str
-    image: object
-    engine: object
-    result: object
-    synthesized: object
-
-    @property
-    def coverage(self):
-        return self.result.coverage_fraction
-
-
-class PipelineCache:
-    """Runs RevNIC + synthesis at most once per driver per process."""
-
-    def __init__(self):
-        self._runs = {}
-
-    def run(self, name, strategy="coverage"):
-        key = (name, strategy)
-        cached = self._runs.get(key)
-        if cached is None:
-            image = build_driver(name)
-            pci = device_class(name).PCI
-            config = RevNicConfig(driver_name=name, pci=pci,
-                                  strategy=strategy)
-            engine = RevNic(image, config)
-            result = engine.run()
-            synthesized = synthesize(
-                result, import_names=engine.loaded.import_names,
-                translator=engine.translator)
-            cached = PipelineRun(name=name, image=image, engine=engine,
-                                 result=result, synthesized=synthesized)
-            self._runs[key] = cached
-        return cached
-
-    def all_drivers(self):
-        return [self.run(name) for name in sorted(DRIVERS)]
-
-
-_GLOBAL_CACHE = PipelineCache()
-
-
 def get_cache():
-    """The process-wide pipeline cache."""
-    return _GLOBAL_CACHE
+    """The process-wide pipeline orchestrator."""
+    return get_orchestrator()
+
+
+__all__ = ["MAC", "PipelineOrchestrator", "get_cache"]

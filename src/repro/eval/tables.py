@@ -254,7 +254,7 @@ def table4_compute(cache=None):
             "functions_recovered": report.function_count,
             "functions_automatic": report.fully_synthesized_count,
             "manual_integration": report.manual_count,
-            "wall_seconds": run.result.stats["wall_seconds"],
+            "wall_seconds": run.stats["wall_seconds"],
         })
     return rows
 

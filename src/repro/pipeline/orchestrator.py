@@ -1,0 +1,206 @@
+"""Process-pool pipeline orchestration.
+
+RevNIC's evaluation runs one reverse-engineering pipeline per driver;
+the runs are independent, so the orchestrator fans them out across
+``multiprocessing`` workers (spawn context: each worker is a fresh
+interpreter running RevNIC + synthesis in isolation) and collects
+serialized :class:`~repro.pipeline.artifact.RunArtifact` objects.  The
+four-driver warm-up therefore costs roughly the slowest single driver
+instead of the sum of all four -- and with a warm on-disk cache, almost
+nothing.
+
+Lookup order per run: in-memory (this orchestrator) -> on-disk store
+(content-addressed, survives the process) -> compute (in a worker during
+:meth:`PipelineOrchestrator.warm`, inline otherwise).  Because runs are
+deterministic (interned expressions, seeded solver -- see DESIGN.md),
+all three paths produce byte-identical canonical artifacts; tests assert
+this.
+"""
+
+import os
+import time
+
+from repro.pipeline.artifact import build_artifact, from_json, to_json
+from repro.pipeline.store import ArtifactStore, artifact_key, default_store
+
+#: Environment variable: set to ``0`` to force serial in-process warm-up.
+PARALLEL_ENV = "REVNIC_PARALLEL"
+
+
+def build_config(name, strategy="coverage", script="default"):
+    """The canonical :class:`RevNicConfig` for one orchestrated run."""
+    from repro.drivers import device_class
+    from repro.revnic import RevNicConfig
+
+    return RevNicConfig(driver_name=name, pci=device_class(name).PCI,
+                        strategy=strategy, script=script)
+
+
+def execute_run(name, strategy="coverage", script="default",
+                source="computed"):
+    """Run the full pipeline for one driver in this process.
+
+    Pure producer: builds the driver image, runs RevNIC under ``config``,
+    synthesizes from the captured result, and returns the
+    :class:`RunArtifact` -- no singletons, no shared state, safe to call
+    from any worker process.
+    """
+    from repro.drivers import build_driver
+    from repro.revnic import RevNic
+    from repro.synth import synthesize
+
+    image = build_driver(name)
+    config = build_config(name, strategy, script)
+    engine = RevNic(image, config)
+    result = engine.run()
+    synthesized = synthesize(result)
+    return build_artifact(config, result, synthesized, source=source)
+
+
+def _worker(job):
+    """Pool target: compute one artifact, return its serialized form.
+
+    Runs in a spawned interpreter; the JSON produced here is byte-for-byte
+    what the parent would produce in-process (determinism tests hold the
+    pipeline to that).
+    """
+    name, strategy, script = job
+    artifact = execute_run(name, strategy, script, source="worker")
+    return job, to_json(artifact)
+
+
+class PipelineOrchestrator:
+    """Runs driver pipelines at most once, fanning cold runs out across
+    processes and persisting artifacts in the on-disk store."""
+
+    def __init__(self, store=None, max_workers=None, parallel=None):
+        self._artifacts = {}
+        #: ``store=False`` disables disk caching; ``None`` uses the
+        #: default store (which the REVNIC_ARTIFACT_CACHE env controls).
+        self.store = default_store() if store is None else (store or None)
+        self.max_workers = max_workers
+        if parallel is None:
+            parallel = os.environ.get(PARALLEL_ENV, "1") != "0"
+        self.parallel = parallel
+        #: wall-clock of the last :meth:`warm` fan-out, and how it ran
+        self.last_warm_seconds = None
+        self.last_warm_mode = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, name, strategy="coverage", script="default"):
+        """The :class:`RunArtifact` for one driver configuration."""
+        key = (name, strategy, script)
+        artifact = self._artifacts.get(key)
+        if artifact is None:
+            artifact = self._load_cached(*key)
+        if artifact is None:
+            artifact = execute_run(name, strategy, script)
+            self._store_artifact(key, artifact)
+        self._artifacts[key] = artifact
+        return artifact
+
+    def warm(self, names=None, strategy="coverage", script="default",
+             parallel=None):
+        """Materialize artifacts for ``names`` (default: all drivers),
+        computing the missing ones in parallel workers.
+
+        Returns ``{name: RunArtifact}``; :attr:`last_warm_seconds` /
+        :attr:`last_warm_mode` record how the fan-out ran (for the
+        benchmark report).
+        """
+        from repro.drivers import DRIVERS
+
+        names = sorted(DRIVERS) if names is None else list(names)
+        started = time.monotonic()
+        missing = []
+        for name in names:
+            key = (name, strategy, script)
+            if key in self._artifacts:
+                continue
+            artifact = self._load_cached(*key)
+            if artifact is not None:
+                self._artifacts[key] = artifact
+            else:
+                missing.append(key)
+
+        if parallel is None:
+            # Fanning out only pays when there is real parallelism:
+            # spawn-per-worker interpreter start-up loses on one core.
+            parallel = self.parallel and (os.cpu_count() or 1) > 1
+        mode = "cached"
+        if missing:
+            mode = "serial"
+            if parallel and len(missing) > 1:
+                mode = "parallel" if self._run_pool(missing) else "serial"
+            if mode == "serial":
+                for key in missing:
+                    if key not in self._artifacts:
+                        artifact = execute_run(*key)
+                        self._store_artifact(key, artifact)
+                        self._artifacts[key] = artifact
+        self.last_warm_seconds = time.monotonic() - started
+        self.last_warm_mode = mode
+        return {name: self._artifacts[(name, strategy, script)]
+                for name in names}
+
+    def all_drivers(self):
+        """Warmed artifacts for the whole corpus, in sorted driver order."""
+        return list(self.warm().values())
+
+    # ------------------------------------------------------------------
+
+    def _run_pool(self, jobs):
+        """Fan ``jobs`` out over a spawn-context process pool.
+
+        Returns True when every job came back; any pool-level failure
+        (restricted environments without working semaphores, worker
+        crashes) leaves completed artifacts in place and reports False so
+        the caller falls back to serial execution for the rest.
+        """
+        import concurrent.futures
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("spawn")
+            workers = self.max_workers or min(len(jobs),
+                                              os.cpu_count() or 1)
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context) as pool:
+                for job, text in pool.map(_worker, jobs):
+                    # Persist the worker's bytes as-is: re-encoding in
+                    # the parent would force the (lazy) trace decode and
+                    # produce the identical JSON anyway.
+                    if self.store is not None:
+                        self.store.save_json(self._disk_key(*job), text)
+                    self._artifacts[job] = from_json(text, source="worker")
+        except Exception:
+            return False
+        return all(job in self._artifacts for job in jobs)
+
+    def _load_cached(self, name, strategy, script):
+        if self.store is None:
+            return None
+        return self.store.load(self._disk_key(name, strategy, script))
+
+    def _store_artifact(self, key, artifact):
+        if self.store is None:
+            return
+        self.store.save(self._disk_key(*key), artifact)
+
+    def _disk_key(self, name, strategy, script):
+        from repro.drivers import build_driver
+
+        return artifact_key(build_driver(name),
+                            build_config(name, strategy, script))
+
+
+_GLOBAL_ORCHESTRATOR = None
+
+
+def get_orchestrator():
+    """The process-wide orchestrator (the evaluation's shared cache)."""
+    global _GLOBAL_ORCHESTRATOR
+    if _GLOBAL_ORCHESTRATOR is None:
+        _GLOBAL_ORCHESTRATOR = PipelineOrchestrator()
+    return _GLOBAL_ORCHESTRATOR

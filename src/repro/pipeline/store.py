@@ -1,0 +1,156 @@
+"""Content-addressed on-disk artifact cache.
+
+Artifacts are keyed by everything that determines their bytes: the
+assembled driver image, the canonical :class:`RevNicConfig`, the artifact
+schema version, and a fingerprint of the pipeline's own source tree (any
+code change invalidates every cached run -- the same discipline as a
+compiler cache).  Repeated pytest or benchmark sessions and CI reruns
+load artifacts in milliseconds instead of re-running symbolic execution.
+
+The store is plain files: ``<root>/<key>.json`` written atomically
+(temp file + rename), safe against concurrent writers producing the same
+deterministic bytes.  Corrupt or schema-incompatible entries read as
+misses.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.pipeline.artifact import SCHEMA_VERSION, from_json, to_json
+
+#: Environment variable overriding the cache directory; the value
+#: ``off`` disables on-disk caching entirely.
+CACHE_ENV = "REVNIC_ARTIFACT_CACHE"
+
+_FINGERPRINT_SUFFIXES = (".py", ".s")
+
+
+def _repo_root():
+    # src/repro/pipeline/store.py -> repo root three levels up from repro/.
+    here = os.path.abspath(os.path.dirname(__file__))
+    return os.path.dirname(os.path.dirname(os.path.dirname(here)))
+
+
+def default_cache_dir():
+    """The configured cache directory, or ``None`` when disabled."""
+    configured = os.environ.get(CACHE_ENV)
+    if configured == "off":
+        return None
+    if configured:
+        return configured
+    return os.path.join(_repo_root(), ".revnic-cache")
+
+
+_code_fingerprint = None
+
+
+def code_fingerprint():
+    """Digest of the pipeline's own source tree (``src/repro``).
+
+    Part of every cache key: a stale artifact produced by different code
+    must never be served.  Computed once per process.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        package_root = os.path.dirname(os.path.abspath(
+            os.path.dirname(__file__)))
+        digest = hashlib.sha256()
+        entries = []
+        for directory, _subdirs, files in os.walk(package_root):
+            for filename in files:
+                if not filename.endswith(_FINGERPRINT_SUFFIXES):
+                    continue
+                path = os.path.join(directory, filename)
+                entries.append((os.path.relpath(path, package_root), path))
+        for relpath, path in sorted(entries):
+            digest.update(relpath.encode())
+            with open(path, "rb") as handle:
+                digest.update(hashlib.sha256(handle.read()).digest())
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def artifact_key(image, config):
+    """Cache key for a run of ``config`` over driver ``image``."""
+    from dataclasses import asdict
+
+    from repro.pipeline.artifact import _encode_config
+
+    config_json = json.dumps(_encode_config(asdict(config)), sort_keys=True)
+    digest = hashlib.sha256()
+    digest.update(b"schema:%d|" % SCHEMA_VERSION)
+    digest.update(hashlib.sha256(image.to_bytes()).digest())
+    digest.update(config_json.encode())
+    digest.update(code_fingerprint().encode())
+    return digest.hexdigest()
+
+
+class ArtifactStore:
+    """File-per-artifact store under one root directory."""
+
+    def __init__(self, root):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key):
+        return os.path.join(self.root, "%s.json" % key)
+
+    def load(self, key):
+        """The cached :class:`RunArtifact` for ``key``, or ``None``."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r") as handle:
+                text = handle.read()
+            artifact = from_json(text, source="disk-cache")
+        except Exception:
+            # Missing, unreadable, corrupt or schema-mismatched entries
+            # are all misses; a miss only costs a re-run.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def save(self, key, artifact):
+        """Serialize and store ``artifact``; returns the file path."""
+        return self.save_json(key, to_json(artifact))
+
+    def save_json(self, key, text):
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def contains(self, key):
+        return os.path.exists(self.path_for(key))
+
+    def keys(self):
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(name[:-5] for name in os.listdir(self.root)
+                      if name.endswith(".json"))
+
+    def clear(self):
+        for key in self.keys():
+            try:
+                os.unlink(self.path_for(key))
+            except OSError:
+                pass
+
+
+def default_store():
+    """The process-default store, or ``None`` when caching is disabled."""
+    root = default_cache_dir()
+    return ArtifactStore(root) if root else None

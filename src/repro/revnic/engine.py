@@ -9,14 +9,14 @@ timeline and statistics.  The output feeds :mod:`repro.synth`.
 import time
 from dataclasses import dataclass, field
 
-from repro.dbt import Translator
+from repro.dbt import CodeWindow, Translator
 from repro.errors import SymexError
 from repro.guestos.loader import load_image
 from repro.guestos.structures import ADAPTER_CONTEXT_SIZE, NdisStatus
 from repro.isa.registers import REG_SP
 from repro.layout import HEAP_BASE, RETURN_TO_OS, STACK_TOP
 from repro.revnic.coverage import CoverageTracker, static_basic_blocks
-from repro.revnic.exerciser import default_script, make_symbolic_buffer
+from repro.revnic.exerciser import make_script, make_symbolic_buffer
 from repro.revnic.heuristics import StateScheduler, make_strategy
 from repro.revnic.osbridge import SymOsBridge
 from repro.revnic.shell_device import ShellDevice
@@ -54,21 +54,37 @@ class RevNicConfig:
     loop_kill_threshold: int = 12
     max_states: int = 256
     #: functions to skip (paper: OS functions like log writes can be
-    #: configured away; name -> return value)
+    #: configured away; name -> forced return value, or name ->
+    #: (return value, argument count) for APIs without a bridge handler).
+    #: Honored by :class:`~repro.revnic.osbridge.SymOsBridge`.
     skip_functions: dict = field(default_factory=dict)
     #: coverage sample interval in executed blocks
     sample_every: int = 25
+    #: exercise script: 'default' (the full NIC script) or 'quick' (the
+    #: reduced smoke script).  An explicit ``script=`` argument to
+    #: :class:`RevNic` overrides this.
+    script: str = "default"
 
 
 @dataclass
 class RevNicResult:
-    """Everything a RevNIC run produced."""
+    """Everything a RevNIC run produced.
+
+    Self-contained by design: ``import_names`` and the captured ``code``
+    window mean downstream synthesis never needs the live engine, so a
+    result (and the artifact built from it) can cross a process boundary.
+    """
 
     trace: Trace
     coverage: CoverageTracker
     entry_points: dict
     stats: dict
     dma_regions: list
+    #: import slot -> OS API name (from the loaded image)
+    import_names: dict = field(default_factory=dict)
+    #: relocated text snapshot; the synthesizer's DBT fallback translates
+    #: missing blocks from it without a live machine
+    code: object = None
 
     @property
     def coverage_fraction(self):
@@ -78,10 +94,13 @@ class RevNicResult:
 class RevNic:
     """One reverse-engineering run over one binary driver."""
 
-    def __init__(self, image, config=None, script=None):
+    def __init__(self, image, config=None, script=None, hardware=None):
+        """``hardware`` optionally replaces the default
+        :class:`HardwarePolicy` (e.g. ``HardwarePolicy(retain_log=True)``
+        to keep the full device-access log for inspection)."""
         self.image = image
         self.config = config or RevNicConfig()
-        self.script = script or default_script()
+        self.script = script or make_script(self.config.script)
         self.machine = Machine()
         self.loaded = load_image(self.machine, image)
         self.shell = ShellDevice(self.config.pci) if self.config.pci \
@@ -94,8 +113,9 @@ class RevNic:
         self.bridge = SymOsBridge(
             self.solver, self.shell, wiretap=self.wiretap,
             import_names=self.loaded.import_names,
-            on_entry_points=self.entry_points.update)
-        self.hardware = HardwarePolicy()
+            on_entry_points=self.entry_points.update,
+            skip_functions=self.config.skip_functions)
+        self.hardware = hardware or HardwarePolicy()
         self.executor = SymExecutor(
             self.translator, self.solver, hardware=self.hardware,
             tracer=self.wiretap,
@@ -146,19 +166,36 @@ class RevNic:
                                  - eval_before["node_visits"]),
             "blocks_recorded": self.wiretap.blocks_recorded,
             "imports_recorded": self.wiretap.imports_recorded,
+            "hw_reads": self.hardware.reads_total,
+            "hw_writes": self.hardware.writes_total,
+            "hw_read_counts": dict(self.hardware.read_counts),
+            "hw_write_counts": dict(self.hardware.write_counts),
+            "os_calls_handled": self.bridge.calls_handled,
+            "os_calls_skipped": self.bridge.calls_skipped,
             "wall_seconds": time.monotonic() - self._start_time,
             "phases": list(self._phase_log),
         }
         dma = list(self.shell.dma_regions) if self.shell else []
+        code = CodeWindow(self.loaded.text_base,
+                          self.machine.memory.read_bytes(
+                              self.loaded.text_base, len(self.image.text)))
         return RevNicResult(trace=trace, coverage=self.coverage,
                             entry_points=dict(self.entry_points),
-                            stats=stats, dma_regions=dma)
+                            stats=stats, dma_regions=dma,
+                            import_names=dict(self.loaded.import_names),
+                            code=code)
 
     # ------------------------------------------------------------------
 
     def _initial_state(self):
+        import itertools
+
         memory = SymMemory(self.machine.memory.read)
-        state = SymState(pc=0, regs=[0] * 16, memory=memory)
+        # Fresh id counter per run: every state descends from this root,
+        # so path ids (serialized into artifacts) restart at zero for
+        # each run regardless of process history.
+        state = SymState(pc=0, regs=[0] * 16, memory=memory,
+                         id_source=itertools.count())
         return state
 
     def _entry_address(self, name):

@@ -76,6 +76,22 @@ def quick_script():
     ]
 
 
+#: Named exercise scripts selectable through ``RevNicConfig.script`` (and
+#: therefore through the pipeline orchestrator's ``script=`` option).
+SCRIPTS = {
+    "default": default_script,
+    "quick": quick_script,
+}
+
+
+def make_script(name):
+    """Instantiate a named exercise script ('default' or 'quick')."""
+    try:
+        return SCRIPTS[name]()
+    except KeyError:
+        raise ValueError("unknown exercise script %r" % (name,)) from None
+
+
 def make_symbolic_buffer(state, address, size, symbolic_bytes, label):
     """Fill ``size`` bytes at ``address``: the first ``symbolic_bytes`` are
     fresh symbols, the rest concrete filler (the paper cites mixing concrete

@@ -9,6 +9,7 @@ execution resumes at the return address -- the mechanism of paper section
 are read by the OS").
 """
 
+from repro.errors import SymexError
 from repro.guestos.structures import MINIPORT_FIELDS, NdisStatus
 from repro.isa.registers import REG_SP
 from repro.layout import RETURN_TO_OS
@@ -20,7 +21,7 @@ class SymOsBridge:
     """Applies OS API semantics to symbolic states."""
 
     def __init__(self, solver, shell, wiretap=None, import_names=None,
-                 on_entry_points=None, registry=None):
+                 on_entry_points=None, registry=None, skip_functions=None):
         self.solver = solver
         self.shell = shell
         self.wiretap = wiretap
@@ -28,7 +29,14 @@ class SymOsBridge:
         #: callback(name -> address dict) invoked on registration calls
         self.on_entry_points = on_entry_points
         self.registry = registry or {}
+        #: OS functions configured away (paper: "OS functions like log
+        #: writes can be configured away"): name -> forced return value,
+        #: or name -> (return value, argument count) for APIs the bridge
+        #: has no handler for.  Skipped calls pop their stack arguments
+        #: and return immediately without applying any API semantics.
+        self.skip_functions = skip_functions or {}
         self.calls_handled = 0
+        self.calls_skipped = 0
         self._dispatch = {
             "NdisMRegisterMiniport": (self._register_miniport, 1),
             "NdisMSetAttributes": (self._success, 1),
@@ -59,10 +67,29 @@ class SymOsBridge:
         continues, ``[]`` when it completed or died).
         """
         name = self.import_names.get(slot)
-        if name is None or name not in self._dispatch:
+        skipped = name is not None and name in self.skip_functions
+        if skipped:
+            spec = self.skip_functions[name]
+            if isinstance(spec, tuple):
+                forced_return, nargs = spec
+            else:
+                entry = self._dispatch.get(name)
+                if entry is None:
+                    # A bare return value gives no way to know how many
+                    # stack arguments to pop; guessing would silently
+                    # misalign the stack.  Force the explicit form.
+                    raise SymexError(
+                        "skip_functions[%r]: no bridge handler to take "
+                        "the argument count from; use (return value, "
+                        "nargs)" % name)
+                forced_return = spec
+                nargs = entry[1]
+            handler = None
+        elif name is None or name not in self._dispatch:
             state.status = PathStatus.ERROR
             return []
-        handler, nargs = self._dispatch[name]
+        else:
+            handler, nargs = self._dispatch[name]
         self.calls_handled += 1
 
         sp = self._concrete(state, state.regs[REG_SP])
@@ -79,7 +106,11 @@ class SymOsBridge:
         if self.wiretap is not None:
             self.wiretap.on_import(state, name, tuple(args), state.pc)
 
-        result = handler(state, *args)
+        if skipped:
+            self.calls_skipped += 1
+            result = forced_return
+        else:
+            result = handler(state, *args)
         state.regs[0] = result & 0xFFFFFFFF
 
         return_addr = self._concrete(state, state.memory.read(sp, 4))

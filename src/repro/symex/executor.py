@@ -21,12 +21,30 @@ class HardwarePolicy:
     The default is the paper's *symbolic hardware*: every read from a
     device register (port or MMIO) or from DMA-registered memory returns a
     fresh unconstrained symbol (section 3.4).
+
+    Accesses are accounted with bounded per-kind counters (``read_counts``
+    / ``write_counts``), surfaced in the engine's run stats.  A full
+    access log grows with every executed block across all phases and no
+    pipeline stage consumes it, so retention is opt-in: pass
+    ``retain_log=True`` (interactive inspection, the symbolic-hardware
+    demo) to additionally keep ``reads`` / ``writes`` lists.
     """
 
-    def __init__(self):
+    def __init__(self, retain_log=False):
         self._counter = 0
-        self.reads = []
-        self.writes = []
+        self.read_counts = {}       # kind -> count
+        self.write_counts = {}      # kind -> count
+        self.retain_log = retain_log
+        self.reads = [] if retain_log else None
+        self.writes = [] if retain_log else None
+
+    @property
+    def reads_total(self):
+        return sum(self.read_counts.values())
+
+    @property
+    def writes_total(self):
+        return sum(self.write_counts.values())
 
     def fresh(self, tag, width):
         self._counter += 1
@@ -35,12 +53,16 @@ class HardwarePolicy:
 
     def device_read(self, state, kind, address, width):
         """Return the value of a device read (symbolic by default)."""
-        self.reads.append((kind, address, width))
+        self.read_counts[kind] = self.read_counts.get(kind, 0) + 1
+        if self.retain_log:
+            self.reads.append((kind, address, width))
         return E.bv_zext(self.fresh("%s_%x" % (kind, address), width), 32)
 
     def device_write(self, state, kind, address, width, value):
         """Observe a device write (the shell device has no behaviour)."""
-        self.writes.append((kind, address, width, value))
+        self.write_counts[kind] = self.write_counts.get(kind, 0) + 1
+        if self.retain_log:
+            self.writes.append((kind, address, width, value))
 
 
 @dataclass

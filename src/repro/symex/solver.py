@@ -96,10 +96,17 @@ class SolverContext:
         return self._comps.values()
 
     def affected(self, symbols):
-        """Components any of ``symbols`` belongs to."""
+        """Components any of ``symbols`` belongs to.
+
+        Symbols are visited in sorted order so the returned component
+        order -- and everything downstream of it (merged constraint
+        order, greedy-search tie-breaking) -- is independent of string
+        hash randomization.  Cross-process artifact byte-equality
+        depends on this.
+        """
         seen = set()
         out = []
-        for symbol in symbols:
+        for symbol in sorted(symbols):
             root = self._find(symbol)
             comp = self._comps.get(root)
             if comp is not None and id(comp) not in seen:
@@ -133,7 +140,9 @@ class SolverContext:
             return
         parent = self._parent
         roots = []
-        for symbol in symbols:
+        # Sorted for cross-process determinism: the merge order decides
+        # the merged component's constraint order (see affected()).
+        for symbol in sorted(symbols):
             root = self._find(symbol)
             if root not in roots:
                 roots.append(root)
@@ -162,7 +171,7 @@ class SolverContext:
         for root in roots[1:]:
             parent[root] = new_root
             self._comps.pop(root, None)
-        for symbol in symbols:
+        for symbol in sorted(symbols):
             if parent.get(symbol, symbol) != new_root and symbol != new_root:
                 parent[symbol] = new_root
 

@@ -54,8 +54,14 @@ class SymState:
     """One path through the driver."""
 
     def __init__(self, pc, regs, memory, constraints=None, os=None,
-                 parent=None, solver_ctx=None):
-        self.id = next(_state_ids)
+                 parent=None, solver_ctx=None, id_source=None):
+        #: id allocator shared down the fork tree.  A run passes a fresh
+        #: counter for its root state so path ids are deterministic per
+        #: run (serialized artifacts depend on this), not per process.
+        if id_source is None:
+            id_source = parent._ids if parent is not None else _state_ids
+        self._ids = id_source
+        self.id = next(id_source)
         self.pc = pc
         self.regs = list(regs)
         self.memory = memory

@@ -127,24 +127,38 @@ class SynthesizedDriver:
 
 
 def synthesize(result_or_trace, driver_name=None, import_names=None,
-               translator=None):
+               translator=None, code=None):
     """Run the full synthesis pipeline on a RevNIC result (or raw Trace).
 
-    When ``translator`` (the engine's DBT) is provided, flagged unexplored
-    branch targets are filled by forcing translation at those addresses --
-    the paper's fallback for missing basic blocks ("the developer can
-    request QEMU's DBT to generate the missing translation blocks by
-    forcing the program counter to take the address of the unexplored
-    block", section 4.1).  The blocks remain flagged in the report; only
-    the executable module is completed.
+    When a code source is available, flagged unexplored branch targets are
+    filled by forcing translation at those addresses -- the paper's
+    fallback for missing basic blocks ("the developer can request QEMU's
+    DBT to generate the missing translation blocks by forcing the program
+    counter to take the address of the unexplored block", section 4.1).
+    The blocks remain flagged in the report; only the executable module is
+    completed.
+
+    The preferred code source is ``code``, a captured
+    :class:`~repro.dbt.translator.CodeWindow` -- a :class:`RevNicResult`
+    carries one, so synthesis needs no live engine and works on
+    deserialized run artifacts.  ``import_names`` likewise defaults to the
+    ones recorded on the result.  Passing a live engine ``translator``
+    still works for ad-hoc use.
 
     Returns a :class:`SynthesizedDriver`.
     """
-    trace = result_or_trace.trace if hasattr(result_or_trace, "trace") \
-        else result_or_trace
+    is_result = hasattr(result_or_trace, "trace")
+    trace = result_or_trace.trace if is_result else result_or_trace
     if not isinstance(trace, Trace):
         raise SynthesisError("synthesize() needs a Trace or RevNicResult")
     name = driver_name or trace.driver_name
+    if is_result:
+        if code is None:
+            code = getattr(result_or_trace, "code", None)
+        if import_names is None:
+            import_names = getattr(result_or_trace, "import_names", None)
+    if translator is None and code is not None:
+        translator = code.translator()
 
     builder = CfgBuilder(trace)
     functions = builder.build()

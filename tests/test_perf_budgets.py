@@ -25,7 +25,7 @@ BUDGETS = {
 
 
 def test_rtl8139_counter_budgets():
-    stats = get_cache().run("rtl8139").result.stats
+    stats = get_cache().run("rtl8139").stats
     for counter, budget in BUDGETS.items():
         assert stats[counter] <= budget, (
             "%s blew its budget: %d > %d -- the incremental solving layer "
@@ -35,7 +35,7 @@ def test_rtl8139_counter_budgets():
 def test_rtl8139_caching_is_effective():
     """Most feasibility work must be absorbed by the witness fast path and
     the model cache; ground-truth searches should stay a minority."""
-    stats = get_cache().run("rtl8139").result.stats
+    stats = get_cache().run("rtl8139").stats
     absorbed = stats["solver_fast_path_hits"] + stats["solver_cache_hits"]
     assert absorbed >= stats["solver_comp_solves"], stats
 
@@ -44,7 +44,7 @@ def test_counters_exported_for_all_drivers():
     from repro.drivers import DRIVERS
 
     for name in sorted(DRIVERS):
-        stats = get_cache().run(name).result.stats
+        stats = get_cache().run(name).stats
         for counter in BUDGETS:
             assert counter in stats
         assert stats["eval_node_visits"] > 0

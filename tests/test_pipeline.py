@@ -40,15 +40,15 @@ def frame(dst=b"\xff" * 6, payload=b"x" * 64):
 
 class TestReverseEngineering:
     def test_coverage_above_80_percent(self, run):
-        assert run.result.coverage_fraction > 0.80
+        assert run.coverage_fraction > 0.80
 
     def test_all_entry_points_discovered(self, run):
         expected = {"initialize", "send", "isr", "set_information",
                     "query_information", "reset", "halt"}
-        assert expected <= set(run.result.entry_points)
+        assert expected <= set(run.entry_points)
 
     def test_entry_points_synthesized(self, run):
-        assert set(run.result.entry_points) \
+        assert set(run.entry_points) \
             <= set(run.synthesized.entry_points)
 
     def test_c_source_generated(self, run):

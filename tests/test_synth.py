@@ -107,13 +107,41 @@ class TestDbtFallback:
         # call fall-through is unexplored under the default budget).
         assert run.synthesized.report.dbt_filled_blocks >= 0
 
-    def test_unfilled_module_raises_on_missing(self, rtl8029):
+    def test_bare_synthesis_block_map_is_subset(self, rtl8029):
         from repro.synth import synthesize
-        from repro.synth.module import MissingBlockError
 
-        engine = rtl8029.engine
-        bare = synthesize(rtl8029.result,
-                          import_names=engine.loaded.import_names)
-        # Without the translator fallback the module may be incomplete;
-        # with it, the same block map plus filled blocks is a superset.
+        # Synthesizing from the raw trace (no captured code window) skips
+        # the DBT fallback; the artifact's module -- synthesized with the
+        # captured code -- is a superset of that bare block map.
+        bare = synthesize(rtl8029.trace,
+                          import_names=rtl8029.import_names)
         assert set(bare.block_map) <= set(rtl8029.synthesized.block_map)
+
+    def test_missing_block_raises_at_execution(self, rtl8029):
+        """Reaching code RevNIC never captured raises the paper's
+        "missing basic block" warning."""
+        from repro.synth.module import MissingBlockError
+        from repro.targetos import WinSim
+        from repro.templates import NicTemplate
+
+        target = WinSim(device_class("rtl8029"),
+                        mac=b"\x52\x54\x00\xAA\xBB\xCC")
+        template = NicTemplate(rtl8029.synthesized, target,
+                               original_image=rtl8029.image)
+        template.initialize()
+        missing = max(rtl8029.synthesized.block_map) + 0x10000
+        with pytest.raises(MissingBlockError):
+            template.runtime.call_address(missing, [])
+
+    def test_code_window_matches_live_translator(self, rtl8029):
+        from repro.synth import synthesize
+
+        # Synthesis from the captured code window is the same pure
+        # function as synthesis against a live engine translator.
+        redone = synthesize(rtl8029.trace,
+                            import_names=rtl8029.import_names,
+                            code=rtl8029.code)
+        assert redone.c_source == rtl8029.synthesized.c_source
+        assert set(redone.block_map) == set(rtl8029.synthesized.block_map)
+        assert redone.report.dbt_filled_blocks == \
+            rtl8029.synthesized.report.dbt_filled_blocks
