@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Run the cross-OS differential validation matrix and print it.
+
+Every synthesized driver runs on every target OS under the full workload
+catalog (UDP streams, bidirectional bursts, runts, oversize frames, bad
+FCS, RX-ring overflow, filter mixes, link flaps, control plane) and is
+compared observation-for-observation against the original binary on the
+source OS.  Artifacts come from the on-disk pipeline cache; a second
+invocation skips reverse engineering entirely.
+
+Usage:
+    PYTHONPATH=src python examples/validate_matrix.py [--quick]
+
+``--quick`` uses the reduced exercise script's artifacts: scenarios that
+need entry points the quick script never explores are skipped, which is
+the gating behavior docs/validation.md describes.
+"""
+
+import sys
+
+from repro.eval.tables import validation_matrix_render
+from repro.pipeline import PipelineOrchestrator
+from repro.validate import ValidationMatrix
+
+
+def main():
+    script = "quick" if "--quick" in sys.argv[1:] else "default"
+    orchestrator = PipelineOrchestrator()
+    matrix = ValidationMatrix(orchestrator=orchestrator, script=script)
+    result = matrix.run()
+    print(validation_matrix_render(result))
+    unexplained = result.unexplained()
+    if unexplained:
+        print("\n%d UNEXPLAINED divergence(s)" % len(unexplained))
+        return 1
+    print("\nno unexplained divergences")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

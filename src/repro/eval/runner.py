@@ -1,13 +1,14 @@
 """Shared pipeline runs for the evaluation.
 
-Thin compatibility front over :mod:`repro.pipeline`: the old in-process
-singleton ``PipelineCache`` is replaced by the artifact-based
-:class:`~repro.pipeline.orchestrator.PipelineOrchestrator` -- runs fan
-out across worker processes, results are serializable
-:class:`~repro.pipeline.artifact.RunArtifact` objects, and a
-content-addressed on-disk store makes repeated sessions skip
-re-exploration entirely.  ``get_cache().run(name)`` keeps its signature;
-it now returns an artifact instead of a bundle of live engine objects.
+Thin front over :mod:`repro.pipeline`: ``get_cache()`` hands every
+experiment the process-wide
+:class:`~repro.pipeline.orchestrator.PipelineOrchestrator`, whose
+``run(name)`` returns the serializable
+:class:`~repro.pipeline.artifact.RunArtifact` for one driver -- loaded
+from memory, from the content-addressed on-disk store, or computed (cold
+runs fan out across worker processes).  Consumers never see a live
+RevNIC engine; tables, figures, the perf model, the validation matrix
+and the functional tests all read artifacts.
 """
 
 from repro.pipeline.orchestrator import (PipelineOrchestrator,

@@ -1,4 +1,8 @@
-"""Tables 1-4 of the paper."""
+"""Tables 1-4 of the paper, plus the cross-OS validation matrix table.
+
+The validation matrix is this reproduction's own table (the paper reports
+functional equivalence anecdotally, per OS); see docs/validation.md.
+"""
 
 import inspect
 from dataclasses import dataclass
@@ -257,6 +261,73 @@ def table4_compute(cache=None):
             "wall_seconds": run.stats["wall_seconds"],
         })
     return rows
+
+
+# ==========================================================================
+# Validation matrix: drivers x target OSes under the workload catalog
+
+def validation_matrix_compute(cache=None, parallel=None):
+    """Run the full differential validation matrix (see repro.validate)."""
+    from repro.eval.runner import get_cache
+    from repro.validate import ValidationMatrix
+
+    return ValidationMatrix(orchestrator=cache or get_cache()) \
+        .run(parallel=parallel)
+
+
+def _cell_text(cell):
+    status = cell.status
+    if status == "skipped":
+        return "-"
+    if status == "unsupported":
+        return "unsup"
+    matched, ran = len(cell.matched), len(cell.ran)
+    mark = "" if status == "equivalent" else "!"
+    return "%d%s/%d" % (matched, mark, ran)
+
+
+def validation_matrix_render(result=None):
+    """Render the matrix: one row per driver, one column per target OS.
+
+    A cell reads ``matched/run`` scenarios (``!`` flags divergences),
+    ``unsup`` marks templates that cannot host the driver (verified
+    against the per-cell expectation), ``-`` an all-skipped cell.
+    """
+    result = result or validation_matrix_compute()
+    lines = ["Validation matrix: original binary vs synthesized driver "
+             "(matched/run scenarios)",
+             "%-10s" % "driver"
+             + "".join("%10s" % os_name for os_name in result.os_names)
+             + "   unexplained"]
+    for driver in result.drivers:
+        row = "%-10s" % driver
+        unexplained = 0
+        for os_name in result.os_names:
+            cell = result.cell(driver, os_name)
+            row += "%10s" % _cell_text(cell)
+            unexplained += len(cell.unexplained())
+        lines.append(row + "%14d" % unexplained)
+    summary = result.summary()
+    unsupported = [cell for cell in result.cells.values()
+                   if cell.status == "unsupported"]
+    unsupported_note = ""
+    if unsupported:
+        unsupported_note = " (all expected)" \
+            if all(cell.expected == "unsupported" for cell in unsupported) \
+            else " (UNEXPECTED)"
+    lines.append("cells: %d equivalent, %d unsupported%s, "
+                 "%d divergent; %d/%d scenarios matched [%s %.1fs]"
+                 % (summary["equivalent"], summary["unsupported"],
+                    unsupported_note, summary["divergent"],
+                    summary["scenarios_matched"],
+                    summary["scenarios_run"], summary["mode"],
+                    summary["wall_seconds"]))
+    for driver, os_name, scenario in result.unexplained():
+        first = scenario.divergences[0].detail if scenario.divergences \
+            else scenario.candidate_error
+        lines.append("  UNEXPLAINED %s/%s %s: %s"
+                     % (driver, os_name, scenario.name, first))
+    return "\n".join(lines)
 
 
 def table4_render(rows=None):

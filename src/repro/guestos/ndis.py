@@ -74,6 +74,8 @@ class NdisEnv:
         self.trace_api_calls = trace_api_calls
         self.registry = {}
         self.irq_pending = False
+        #: total device interrupts raised (validation-matrix observable)
+        self.irq_count = 0
         self.stall_microseconds = 0
         self._heap_next = HEAP_BASE
         self._dispatch = _build_dispatch()
@@ -96,6 +98,7 @@ class NdisEnv:
 
     def _device_irq(self):
         self.irq_pending = True
+        self.irq_count += 1
 
     # ------------------------------------------------------------------
     # Driver loading and invocation

@@ -7,6 +7,9 @@ class Medium:
 
     The evaluation uses the medium both as the traffic sink for throughput
     measurement and as the injection point for receive-path workloads.
+    The link can be taken down (:meth:`set_link`) to model a cable pull:
+    frames in either direction are silently dropped (and counted) while
+    the link is down -- the validation matrix's link-flap scenario.
     """
 
     def __init__(self):
@@ -14,13 +17,23 @@ class Medium:
         self._receiver = None
         #: Total payload bytes transmitted (throughput accounting).
         self.tx_bytes = 0
+        self.link_up = True
+        #: Frames lost to a downed link (either direction).
+        self.link_drops = 0
 
     def attach(self, nic):
         """Attach ``nic``; its ``receive_frame(bytes)`` gets injected frames."""
         self._receiver = nic
 
+    def set_link(self, up):
+        """Raise or drop the physical link."""
+        self.link_up = bool(up)
+
     def transmit(self, frame_bytes):
         """Called by a NIC model when it puts a frame on the wire."""
+        if not self.link_up:
+            self.link_drops += 1
+            return
         self.transmitted.append(bytes(frame_bytes))
         self.tx_bytes += len(frame_bytes)
 
@@ -28,6 +41,9 @@ class Medium:
         """Deliver a frame from the network toward the attached NIC."""
         if self._receiver is None:
             raise RuntimeError("no NIC attached to medium")
+        if not self.link_up:
+            self.link_drops += 1
+            return
         self._receiver.receive_frame(bytes(frame_bytes))
 
     def pop_transmitted(self):

@@ -3,8 +3,8 @@
 The paper's performance benchmark "sends UDP packets of increasing size, up
 to the maximum length of an Ethernet frame" (section 5.3); on KitOS it
 transmits hand-crafted raw UDP packets since KitOS has no TCP/IP stack.
-This module is that hand-crafting code, shared by the tiny TCP/IP stack in
-:mod:`repro.targetos.netstack`.
+This module is that hand-crafting code, used by the workload generators in
+:mod:`repro.net.traffic`.
 """
 
 import struct

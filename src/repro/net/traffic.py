@@ -1,6 +1,19 @@
-"""Workload generation for the evaluation benchmarks."""
+"""Workload generation for the evaluation benchmarks and the validation
+matrix.
 
-from repro.net.ethernet import MAX_PAYLOAD, EthernetFrame, EtherType
+The first half is the paper's own workload: deterministic UDP streams of
+fixed payload size (the x axis of Figures 2-7).  The second half is the
+adversarial catalog the cross-OS validation matrix (:mod:`repro.validate`)
+drives through every driver: runt / oversize / bad-FCS frames,
+bidirectional bursts, and RX-ring overflow pressure.  Every generator is
+deterministic -- two instances with the same parameters produce identical
+byte streams -- because the matrix compares the original binary and the
+synthesized driver on *exactly* the same traffic.
+"""
+
+from repro.net.crc import crc32_ethernet
+from repro.net.ethernet import (HEADER_LEN, MAX_PAYLOAD, MIN_PAYLOAD,
+                                EthernetFrame, EtherType)
 from repro.net.packet import IP_HEADER_LEN, UDP_HEADER_LEN, build_udp_packet
 
 #: UDP payload sizes swept by the paper's figures (x axis 0..1400+ bytes,
@@ -10,10 +23,17 @@ DEFAULT_SIZES = (64, 128, 256, 400, 512, 700, 800, 1000, 1100, 1200, 1400,
 
 
 def packet_size_sweep(max_payload=None):
-    """Return the UDP payload sizes used on the x axis of Figures 2-7."""
+    """Return the UDP payload sizes used on the x axis of Figures 2-7.
+
+    ``max_payload`` caps the sweep; values above the Ethernet limit
+    (1500 minus IP and UDP headers) clamp to it, ``0`` yields an empty
+    sweep, and negative values are rejected.
+    """
     limit = MAX_PAYLOAD - IP_HEADER_LEN - UDP_HEADER_LEN
     if max_payload is None:
         max_payload = limit
+    if max_payload < 0:
+        raise ValueError("max_payload must be >= 0, got %d" % max_payload)
     return tuple(s for s in DEFAULT_SIZES if s <= min(max_payload, limit))
 
 
@@ -52,3 +72,105 @@ class UdpWorkload:
         """Yield ``count`` frames."""
         for _ in range(count):
             yield self.next_frame()
+
+
+# ==========================================================================
+# Adversarial generators (the validation-matrix workload catalog)
+
+def _pattern(length, seed=0):
+    """Deterministic filler bytes."""
+    return bytes((seed + i * 7 + 3) & 0xFF for i in range(length))
+
+
+def runt_frame(dst, src, total_length=32, seed=0):
+    """A frame shorter than the 60-byte Ethernet minimum, as raw bytes.
+
+    Deliberately bypasses :class:`EthernetFrame`'s length validation: the
+    point is to hand the device models (and through them the drivers)
+    malformed wire input.  ``total_length`` must cover at least the
+    destination address and stay below the legal minimum.
+    """
+    minimum = HEADER_LEN + MIN_PAYLOAD
+    if not 6 <= total_length < minimum:
+        raise ValueError("runt length must be in [6, %d), got %d"
+                         % (minimum, total_length))
+    raw = (bytes(dst) + bytes(src)
+           + int(EtherType.IPV4).to_bytes(2, "big")
+           + _pattern(max(total_length - HEADER_LEN, 0), seed))
+    return raw[:total_length]
+
+
+def oversize_frame(dst, src, payload_length=MAX_PAYLOAD + 100, seed=0):
+    """A frame whose payload exceeds the 1500-byte Ethernet maximum.
+
+    Capped at 1900 payload bytes so the frame still fits the smallest
+    on-chip packet buffer of the device models; the interesting question
+    is how the *driver* handles it, not whether the model's memory wraps.
+    """
+    if not MAX_PAYLOAD < payload_length <= 1900:
+        raise ValueError("oversize payload must be in (%d, 1900], got %d"
+                         % (MAX_PAYLOAD, payload_length))
+    return (bytes(dst) + bytes(src)
+            + int(EtherType.IPV4).to_bytes(2, "big")
+            + _pattern(payload_length, seed))
+
+
+def frame_with_fcs(frame_bytes, corrupt=False):
+    """Append the CRC-32 FCS to ``frame_bytes``; ``corrupt=True`` inverts
+    it (a frame any checking receiver must reject)."""
+    fcs = crc32_ethernet(frame_bytes)
+    if corrupt:
+        fcs ^= 0xFFFFFFFF
+    return bytes(frame_bytes) + fcs.to_bytes(4, "little")
+
+
+def addressed_frame(dst, src, tag=0, payload_size=64):
+    """A well-formed frame whose payload encodes ``tag`` (so deliveries
+    can be traced back to the injected frame that caused them)."""
+    payload = bytes([tag & 0xFF]) + _pattern(payload_size - 1, seed=tag)
+    return EthernetFrame(dst=bytes(dst), src=bytes(src),
+                         ethertype=EtherType.IPV4,
+                         payload=payload).to_bytes()
+
+
+def overflow_burst(src_mac, dst_mac, count=40, payload_size=300):
+    """``count`` back-to-back RX frames for ring-overflow pressure.
+
+    Injected without servicing interrupts in between, these overrun any
+    bounded RX ring; the matrix checks that the original and synthesized
+    drivers drop and recover identically.
+    """
+    workload = UdpWorkload(src_mac, dst_mac, payload_size)
+    return [frame.to_bytes() for frame in workload.frames(count)]
+
+
+class BidirectionalBurst:
+    """Deterministic interleaved TX/RX burst schedule.
+
+    Yields ``('tx', frame_bytes)`` / ``('rx', frame_bytes)`` events:
+    bursts of sends interleaved with bursts of receives, with burst
+    lengths cycling through ``pattern``.  Models the full-duplex traffic
+    mix the paper's unidirectional UDP sweep never exercises.
+    """
+
+    def __init__(self, mac, peer, payload_size=128, rounds=4,
+                 pattern=(1, 3, 2)):
+        if not pattern or any(n < 0 for n in pattern):
+            raise ValueError("pattern must be non-empty and non-negative")
+        self.tx = UdpWorkload(mac, peer, payload_size)
+        self.rx = UdpWorkload(peer, mac, payload_size,
+                              src_ip=b"\x0a\x00\x00\x02",
+                              dst_ip=b"\x0a\x00\x00\x01",
+                              src_port=9001, dst_port=9000)
+        self.rounds = rounds
+        self.pattern = tuple(pattern)
+
+    def events(self):
+        """Yield the full schedule as ``(kind, frame_bytes)`` tuples."""
+        for round_index in range(self.rounds):
+            tx_burst = self.pattern[round_index % len(self.pattern)]
+            rx_burst = self.pattern[(round_index + 1) % len(self.pattern)]
+            for frame in self.tx.frames(tx_burst):
+                yield "tx", frame.to_bytes()
+            for frame in self.rx.frames(rx_burst):
+                yield "rx", frame.to_bytes()

@@ -7,9 +7,15 @@ target-OS simulators (:mod:`repro.targetos`) provide the template
 boilerplate around it and an ``os_interface`` that answers the driver's OS
 API calls -- the "pasting into the template" step.
 
-Because the module is built *only* from the wiretap trace of the original
-binary, running it is a genuine end-to-end test of the reverse-engineering
-pipeline: any block RevNIC failed to capture raises
+:func:`synthesize` needs no live engine: it consumes a
+:class:`~repro.revnic.engine.RevNicResult` (or a deserialized
+:class:`~repro.pipeline.artifact.RunArtifact`'s view of one) carrying the
+trace, the import-slot names and a captured
+:class:`~repro.dbt.translator.CodeWindow` of driver text, which also
+powers the DBT fallback that fills flagged unexplored blocks.  Because
+the module is otherwise built *only* from the wiretap trace of the
+original binary, running it is a genuine end-to-end test of the
+reverse-engineering pipeline: any block RevNIC failed to capture raises
 :class:`MissingBlockError` when reached (the paper's "missing basic
 blocks" developer warning).
 """

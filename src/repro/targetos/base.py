@@ -56,6 +56,8 @@ class TargetOs:
                                          self.device)
         self.device.irq_callback = self._device_irq
         self.irq_pending = False
+        #: total device interrupts raised (validation-matrix observable)
+        self.irq_count = 0
         self._heap_next = HEAP_BASE
         #: frames the driver handed up to this OS's network layer
         self.received_frames = []
@@ -70,6 +72,7 @@ class TargetOs:
 
     def _device_irq(self):
         self.irq_pending = True
+        self.irq_count += 1
 
     def alloc(self, size, align=16):
         base = (self._heap_next + align - 1) & ~(align - 1)

@@ -77,10 +77,12 @@ class NicTemplate:
         return status
 
     def shutdown(self):
-        """Template unload path."""
+        """Template unload path; returns the halt entry point's status."""
+        status = NdisStatus.SUCCESS
         if "halt" in self.driver.entry_points:
-            self.runtime.call("halt", [self.context])
+            status = self.runtime.call("halt", [self.context])
         self.initialized = False
+        return status
 
     def reset(self):
         return self.runtime.call("reset", [self.context])
@@ -171,6 +173,13 @@ class NicTemplate:
     def set_led(self, mode):
         return self._set_info(Oid.VENDOR_LED_CONTROL,
                               int(mode).to_bytes(4, "little"))
+
+    def query_link_speed(self):
+        """Query the link speed OID -- mirrors
+        :meth:`repro.guestos.harness.DriverHarness.query_link_speed` so the
+        validation matrix can compare the control plane symmetrically."""
+        status, data = self._query_info(Oid.GEN_LINK_SPEED, 4)
+        return status, int.from_bytes(data, "little")
 
 
 class DmaNicTemplate(NicTemplate):

@@ -24,6 +24,20 @@ class TestAdaptationTables:
         with pytest.raises(TemplateError, match="no adaptation"):
             target.call("NdisBogusCall", lambda i: 0)
 
+    @pytest.mark.parametrize("os_cls", list(TARGET_OSES.values()))
+    @pytest.mark.parametrize("name", [
+        "NdisMRegisterAdapterShutdownHandler",   # real NDIS, not adapted
+        "IoConnectInterrupt",                    # wrong-kernel API
+        "netif_rx",                              # target-native name
+        "",                                      # degenerate
+    ])
+    def test_unadapted_api_raises_template_error(self, os_cls, name):
+        """An incomplete template surfaces as TemplateError naming the
+        OS -- never a bare KeyError from the table lookup."""
+        target = make(os_cls)
+        with pytest.raises(TemplateError, match=target.TRAITS.name):
+            target.call(name, lambda i: 0)
+
     def test_linsim_reroutes_receive_to_netif_rx(self):
         target = make(LinSim)
         target.machine.memory.write_bytes(0x00600000, b"hello!" + b"\0" * 60)
@@ -95,3 +109,46 @@ class TestOsTraitsOrdering:
         zero -- the OS-differences behind the figures."""
         assert WinSim.TRAITS.stack_cost > LinSim.TRAITS.stack_cost \
             > UcSim.TRAITS.stack_cost > KitOs.TRAITS.stack_cost
+
+
+class TestOsTraitsFeedPerfModel:
+    """Each OS's OsTraits must be a consistent perf-model input."""
+
+    @pytest.mark.parametrize("name", sorted(TARGET_OSES))
+    def test_traits_identity_and_ranges(self, name):
+        traits = TARGET_OSES[name].TRAITS
+        assert traits.name == name
+        assert traits.stack_cost >= 0
+        assert traits.irq_cost > 0
+        assert traits.syscall_cost > 0
+        assert traits.stack_per_byte >= 0.0
+        # no network stack <=> no per-packet stack cost
+        assert traits.has_network_stack == (traits.stack_cost > 0)
+        assert traits.has_network_stack == (traits.stack_per_byte > 0)
+
+    @pytest.mark.parametrize("name", sorted(TARGET_OSES))
+    def test_model_point_is_sane_for_every_os(self, name):
+        from repro.eval.perfmodel import DriverCost, PLATFORMS, model_point
+
+        traits = TARGET_OSES[name].TRAITS
+        cost = DriverCost(instructions=5000.0, io_accesses=40.0,
+                          uses_dma=False)
+        point = model_point(1000, cost, traits, PLATFORMS["pc"])
+        assert point.throughput_mbps > 0
+        assert 0.0 < point.cpu_utilization <= 1.0
+        assert 0.0 < point.driver_fraction <= 1.0
+
+    def test_stack_cost_orders_modeled_throughput(self):
+        """The same measured driver cost must get slower, not faster, on
+        an OS with a heavier network stack -- the figures' OS ordering."""
+        from repro.eval.perfmodel import DriverCost, PLATFORMS, model_point
+
+        cost = DriverCost(instructions=5000.0, io_accesses=40.0,
+                          uses_dma=False)
+        throughput = {
+            name: model_point(1000, cost, TARGET_OSES[name].TRAITS,
+                              PLATFORMS["qemu"]).throughput_mbps
+            for name in TARGET_OSES
+        }
+        assert throughput["kitos"] > throughput["ucsim"] \
+            > throughput["linsim"] > throughput["winsim"]
