@@ -18,8 +18,8 @@ import pytest
 
 from repro.eval.runner import get_cache
 
-_BENCH_COUNTERS = ("wall_seconds", "blocks_executed", "forks",
-                   "solver_queries", "solver_comp_solves",
+_BENCH_COUNTERS = ("wall_seconds", "blocks_executed", "exec_fast_blocks",
+                   "forks", "solver_queries", "solver_comp_solves",
                    "solver_cache_hits", "solver_fast_path_hits",
                    "eval_program_runs", "eval_node_visits",
                    "hw_reads", "hw_writes")

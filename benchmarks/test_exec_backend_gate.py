@@ -1,0 +1,154 @@
+"""Benchmark gate: the compiled execution tier beats the interpreters.
+
+Two experiments, both landing under ``exec_backend`` in
+``BENCH_pipeline.json``:
+
+* **original-binary matrix column** -- one driver's full workload catalog
+  on the source-OS harness (the baseline side of a validation-matrix
+  column), run once on the per-instruction interpreter (``"step"``, the
+  seed behaviour) and once on the compiled DBT tier.  Observations must
+  be identical; compiled must be strictly faster;
+* **synthesized-driver run** -- the rtl8139 artifact's driver pasted into
+  the winsim template, driving a send+receive workload through the
+  tree-walking IR interpreter and through compiled blocks.  Same
+  behaviour and perf counters; compiled strictly faster.
+
+Wall-clock gates are deliberately coarse (strictly-faster, not a ratio):
+the observed margins are ~1.5x on the binary column and ~3x on the
+synthesized run, so the assertion only trips when the compiled tier stops
+paying for itself.
+"""
+
+import json
+import os
+import time
+
+from repro.drivers import device_class
+from repro.net import UdpWorkload
+from repro.targetos import TARGET_OSES
+from repro.templates import DmaNicTemplate
+from repro.validate.observe import OriginalDut
+from repro.validate.scenarios import SCENARIOS, run_scenario
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+MAC = b"\x52\x54\x00\xAA\xBB\xCC"
+PEER = b"\x02\x00\x00\x00\x00\x01"
+
+#: Accumulated across the tests in this module; merged into the bench
+#: report as each test completes, so partial runs still record.
+_RECORD = {}
+
+
+def _update_bench():
+    path = os.path.join(_REPO_ROOT, "BENCH_pipeline.json")
+    report = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            report = json.load(handle)
+    report["exec_backend"] = dict(_RECORD)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def _best_of(runs, fn):
+    """Best wall-clock of ``runs`` attempts (damps scheduler noise
+    without hiding a real regression) plus the last result."""
+    best, result = None, None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _run_column(backend):
+    """The original rtl8029 binary through the whole workload catalog."""
+    observations = []
+    for scenario in SCENARIOS:
+        dut = OriginalDut("rtl8029", exec_backend=backend)
+        observations.append(run_scenario(dut, scenario).to_dict())
+    return observations
+
+
+def test_original_binary_column_compiled_faster(cache):
+    interpreted, obs_step = _best_of(2, lambda: _run_column("step"))
+    compiled, obs_compiled = _best_of(2, lambda: _run_column("compiled"))
+    assert obs_step == obs_compiled, \
+        "execution tier changed observable behaviour"
+    _RECORD["matrix_column"] = {
+        "driver": "rtl8029",
+        "side": "original-binary",
+        "scenarios": len(SCENARIOS),
+        "interpreted_seconds": round(interpreted, 3),
+        "compiled_seconds": round(compiled, 3),
+        "speedup": round(interpreted / compiled, 2),
+    }
+    _update_bench()
+    assert compiled < interpreted, \
+        "compiled DBT tier (%.3fs) not faster than per-step decode " \
+        "(%.3fs)" % (compiled, interpreted)
+
+
+def _run_synthesized(artifact, backend, packets=60):
+    target = TARGET_OSES["winsim"](device_class(artifact.name), mac=MAC)
+    template = DmaNicTemplate(artifact.synthesized, target,
+                              original_image=artifact.image,
+                              exec_backend=backend)
+    template.initialize()
+    tx = UdpWorkload(MAC, PEER, 256)
+    statuses = [template.send(tx.next_frame().to_bytes())
+                for _ in range(packets)]
+    rx = UdpWorkload(PEER, MAC, 128)
+    delivered = []
+    for _ in range(8):
+        delivered.extend(template.inject_rx(rx.next_frame().to_bytes()))
+    env = template.runtime.env
+    return {
+        "statuses": statuses,
+        "wire": [f.hex() for f in target.medium.transmitted],
+        "delivered": [f.hex() for f in delivered],
+        "instrs_retired": env.instrs_retired,
+        "ops_retired": env.ops_retired,
+        "io_ops": env.io_ops,
+        "irq_count": target.irq_count,
+    }
+
+
+def test_synthesized_rtl8139_run_compiled_faster(cache):
+    artifact = cache.run("rtl8139")
+    interpreted, out_interp = _best_of(
+        2, lambda: _run_synthesized(artifact, "interp"))
+    compiled, out_compiled = _best_of(
+        2, lambda: _run_synthesized(artifact, "compiled"))
+    assert out_interp == out_compiled, \
+        "execution tier changed synthesized-driver behaviour or counters"
+    _RECORD["synthesized_run"] = {
+        "driver": "rtl8139",
+        "target_os": "winsim",
+        "packets": 60,
+        "interpreted_seconds": round(interpreted, 3),
+        "compiled_seconds": round(compiled, 3),
+        "speedup": round(interpreted / compiled, 2),
+    }
+    _update_bench()
+    assert compiled < interpreted, \
+        "compiled blocks (%.3fs) not faster than the tree-walker " \
+        "(%.3fs)" % (compiled, interpreted)
+
+
+def test_symex_fast_path_share_recorded(cache):
+    """The concrete fast path carries a meaningful share of symbolic-phase
+    blocks for every driver; record the shares next to the gate."""
+    shares = {}
+    for artifact in cache.all_drivers():
+        stats = artifact.stats
+        shares[artifact.name] = {
+            "fast_blocks": stats["exec_fast_blocks"],
+            "blocks_executed": stats["blocks_executed"],
+        }
+        assert 0 < stats["exec_fast_blocks"] < stats["blocks_executed"]
+    _RECORD["symex_fast_path"] = shares
+    _update_bench()

@@ -83,8 +83,18 @@ def translate_block(read_code, pc):
     instr_spans = []
     current = pc
     for _ in range(MAX_BLOCK_INSTRS):
-        raw = read_code(current, INSTR_SIZE)
-        instr = decode(raw)
+        try:
+            raw = read_code(current, INSTR_SIZE)
+            instr = decode(raw)
+        except Exception:
+            # A fetch/decode failure *past* the first instruction
+            # truncates the block: the valid prefix executes and falls
+            # through to the faulting address, whose own (re)translation
+            # raises -- giving block execution exactly the per-step
+            # interpreter's partial-effects-then-fault behaviour.
+            if instr_addrs:
+                break
+            raise
         instr_addrs.append(current)
         next_pc = (current + INSTR_SIZE) & _MASK32
         span_start = len(emitter.ops)

@@ -15,8 +15,13 @@ from repro.vm.machine import Machine
 class DriverHarness:
     """Boots a driver binary against a device model and drives it."""
 
-    def __init__(self, image, device_cls, mac=b"\x52\x54\x00\x12\x34\x56"):
-        self.machine = Machine()
+    def __init__(self, image, device_cls, mac=b"\x52\x54\x00\x12\x34\x56",
+                 exec_backend="compiled"):
+        """``exec_backend`` picks the CPU tier the binary runs on:
+        ``"compiled"`` (default, DBT + generated-source blocks),
+        ``"interp"`` (DBT + tree-walker) or ``"step"``/``None`` (the
+        per-instruction interpreter)."""
+        self.machine = Machine(exec_backend=exec_backend)
         self.medium = Medium()
         self.device = device_cls(mac, medium=self.medium)
         self.medium.attach(self.device)

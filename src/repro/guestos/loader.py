@@ -86,7 +86,9 @@ def load_image(machine, image, text_base=TEXT_BASE):
     machine.memory.write_bytes(text_base, bytes(text))
     if data:
         machine.memory.write_bytes(data_base, bytes(data))
-    machine.cpu.invalidate_decode_cache()
+    # One hook drops every code-derived cache (decode cache and DBT
+    # translations) -- loaders no longer track them individually.
+    machine.cpu.code_changed()
 
     return LoadedImage(
         image=image,

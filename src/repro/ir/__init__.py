@@ -32,6 +32,15 @@ from repro.ir.nodes import (
 )
 from repro.ir.printer import format_block, format_op
 from repro.ir.interp import IrEnv, run_block
+from repro.ir.compile import compile_block, exec_counters
+from repro.ir.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    CompiledBackend,
+    ExecutionBackend,
+    InterpBackend,
+    get_backend,
+)
 
 __all__ = [
     "BinKind",
@@ -58,4 +67,12 @@ __all__ = [
     "format_op",
     "IrEnv",
     "run_block",
+    "compile_block",
+    "exec_counters",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "CompiledBackend",
+    "ExecutionBackend",
+    "InterpBackend",
+    "get_backend",
 ]

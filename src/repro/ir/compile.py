@@ -1,0 +1,262 @@
+"""Block compiler: lowers IR translation blocks to flat Python functions.
+
+The same ``compile()`` discipline as :mod:`repro.symex.expr`'s compiled
+evaluation programs, applied to whole translation blocks: each block is
+lowered once into the source of one Python function -- one statement per
+IR op, temps as local variables, no per-op dispatch, no temp dictionary --
+and executed many times.  The generated function has *exactly* the
+semantics of :func:`repro.ir.interp.run_block` against the same
+environment object, including the counter discipline (``instrs_retired``
+at block entry, ``ops_retired`` per executed op even when an op faults
+mid-block) and the fault behaviour (``VmFault`` on divide by zero,
+whatever the environment's memory/I/O callables raise for bad accesses).
+
+The compiled function is cached on the block object itself, so cache
+lifetime *is* block lifetime: a :class:`~repro.dbt.translator.Translator`
+that retranslates a patched block produces a fresh block object and
+therefore a fresh compiled function -- the mid-block-patch invalidation
+semantics come for free.
+"""
+
+from repro.errors import VmFault
+from repro.ir import nodes as N
+from repro.ir.interp import BlockResult
+
+_MASK32 = 0xFFFFFFFF
+
+#: ``a`` signed-reinterpreted, as a source expression (operand repeated).
+_SIGNED = "(%s - 4294967296 if %s & 2147483648 else %s)"
+
+_BIN_TEMPLATES = {
+    N.BinKind.ADD: "(%s + %s) & 4294967295",
+    N.BinKind.SUB: "(%s - %s) & 4294967295",
+    N.BinKind.AND: "%s & %s",
+    N.BinKind.OR: "%s | %s",
+    N.BinKind.XOR: "%s ^ %s",
+    N.BinKind.SHL: "(%s << (%s & 31)) & 4294967295",
+    N.BinKind.SHR: "%s >> (%s & 31)",
+    N.BinKind.MUL: "(%s * %s) & 4294967295",
+}
+
+_CMP_OPS = {
+    N.CmpKind.EQ: ("==", False), N.CmpKind.NE: ("!=", False),
+    N.CmpKind.ULT: ("<", False), N.CmpKind.UGE: (">=", False),
+    N.CmpKind.SLT: ("<", True), N.CmpKind.SGE: (">=", True),
+}
+
+#: Mutable cells shared with every compiled block: [blocks compiled,
+#: compiled-block executions].  Deterministic, like the expression-program
+#: counters -- tests assert the compiled tier actually ran.
+_COUNTER_CELLS = [0, 0]
+
+
+def exec_counters():
+    """Snapshot of the block-compiler counters (deterministic)."""
+    return {"blocks_compiled": _COUNTER_CELLS[0],
+            "block_runs": _COUNTER_CELLS[1]}
+
+
+class _Writer:
+    """Accumulates body lines plus the deferred ops_retired flushes."""
+
+    def __init__(self):
+        self.lines = []
+        self.pending = 0          # executed ops not yet counted
+        self.consts = {}          # namespace name -> prebuilt object
+        self.used = set()         # env accessors referenced by the body
+
+    def line(self, text):
+        self.lines.append("    " + text)
+
+    def flush(self, including=0):
+        """Emit the deferred ``ops_retired`` increment.  ``including``
+        ops are about to execute now (a faulting op counts *before* it
+        runs, exactly like the interpreter's per-op increment)."""
+        count = self.pending + including
+        self.pending = 0
+        if count:
+            self.line("env.ops_retired += %d" % count)
+
+    def const(self, prefix, value):
+        name = "_%s%d" % (prefix, len(self.consts))
+        self.consts[name] = value
+        return name
+
+
+def _signed(ref):
+    return _SIGNED % (ref, ref, ref)
+
+
+def _emit_op(w, op):
+    """Emit source for one IR op; returns True when it terminated the
+    block (emitted a return)."""
+    t = "t%d"
+    if isinstance(op, N.IrConst):
+        w.line(t % op.dst + " = %d" % (op.value & _MASK32))
+    elif isinstance(op, N.IrGetReg):
+        w.used.add("regs")
+        w.line(t % op.dst + " = regs[%d]" % op.reg)
+    elif isinstance(op, N.IrSetReg):
+        w.used.add("regs")
+        w.line("regs[%d] = " % op.reg + t % op.src)
+    elif isinstance(op, N.IrBin):
+        a, b = t % op.a, t % op.b
+        if op.kind in (N.BinKind.DIVU, N.BinKind.REMU):
+            w.flush(including=1)
+            w.line("if %s == 0:" % b)
+            w.line("    raise VmFault(\"divide by zero\")")
+            sign = "//" if op.kind == N.BinKind.DIVU else "%"
+            w.line(t % op.dst + " = (%s %s %s) & 4294967295" % (a, sign, b))
+            return False
+        if op.kind == N.BinKind.SAR:
+            w.line(t % op.dst + " = (%s >> (%s & 31)) & 4294967295"
+                   % (_signed(a), b))
+        else:
+            w.line(t % op.dst + " = " + _BIN_TEMPLATES[op.kind] % (a, b))
+    elif isinstance(op, N.IrNot):
+        w.line(t % op.dst + " = (~%s) & 4294967295" % (t % op.a,))
+    elif isinstance(op, N.IrNeg):
+        w.line(t % op.dst + " = (-%s) & 4294967295" % (t % op.a,))
+    elif isinstance(op, N.IrCmp):
+        a, b = t % op.a, t % op.b
+        sign, is_signed = _CMP_OPS[op.kind]
+        if is_signed:
+            a, b = _signed(a), _signed(b)
+        w.line(t % op.dst + " = 1 if %s %s %s else 0" % (a, sign, b))
+    elif isinstance(op, N.IrLoad):
+        w.used.update(("mem_read", "is_dev"))
+        w.flush(including=1)
+        w.line(t % op.dst + " = mem_read(%s, %d)" % (t % op.addr, op.width))
+        _emit_access_count(w, t % op.addr)
+        return False
+    elif isinstance(op, N.IrStore):
+        w.used.update(("mem_write", "is_dev"))
+        w.flush(including=1)
+        w.line("mem_write(%s, %d, %s)"
+               % (t % op.addr, op.width, t % op.src))
+        _emit_access_count(w, t % op.addr)
+        return False
+    elif isinstance(op, N.IrIn):
+        w.used.add("io_read")
+        w.flush(including=1)
+        w.line(t % op.dst + " = io_read(%s, %d)" % (t % op.port, op.width))
+        w.line("env.io_ops += 1")
+        return False
+    elif isinstance(op, N.IrOut):
+        w.used.add("io_write")
+        w.flush(including=1)
+        w.line("io_write(%s, %d, %s)" % (t % op.port, op.width, t % op.src))
+        w.line("env.io_ops += 1")
+        return False
+    elif isinstance(op, N.IrJump):
+        w.flush(including=1)
+        if op.indirect:
+            w.line("return BlockResult(\"jump\", %s)" % (t % op.target,))
+        else:
+            w.line("return " + w.const(
+                "j", BlockResult("jump", op.target)))
+        return True
+    elif isinstance(op, N.IrCondJump):
+        w.flush(including=1)
+        taken = w.const("j", BlockResult("jump", op.target))
+        fall = w.const("j", BlockResult("jump", op.fallthrough))
+        w.line("return %s if %s else %s" % (taken, t % op.cond, fall))
+        return True
+    elif isinstance(op, N.IrCall):
+        w.flush(including=1)
+        if op.indirect:
+            w.line("return BlockResult(\"call\", %s, %d)"
+                   % (t % op.target, op.return_pc))
+        else:
+            w.line("return " + w.const(
+                "c", BlockResult("call", op.target, op.return_pc)))
+        return True
+    elif isinstance(op, N.IrRet):
+        w.flush(including=1)
+        w.line("return BlockResult(\"ret\", %s, cleanup=%d)"
+               % (t % op.addr, op.cleanup))
+        return True
+    elif isinstance(op, N.IrHalt):
+        w.flush(including=1)
+        w.line("return " + w.const("h", BlockResult("halt")))
+        return True
+    else:  # pragma: no cover - node set is closed
+        raise TypeError("cannot compile IR op %r" % (op,))
+    w.pending += 1
+    return False
+
+
+def _emit_access_count(w, address_ref):
+    w.line("if is_dev(%s):" % address_ref)
+    w.line("    env.io_ops += 1")
+    w.line("else:")
+    w.line("    env.mem_ops += 1")
+
+
+_BINDINGS = {
+    "regs": "    regs = env.regs",
+    "mem_read": "    mem_read = env.mem_read",
+    "mem_write": "    mem_write = env.mem_write",
+    "io_read": "    io_read = env.io_read",
+    "io_write": "    io_write = env.io_write",
+    "is_dev": "    is_dev = env.is_device_address",
+}
+
+
+def _compile_block(block):
+    w = _Writer()
+    terminated = False
+    for op in block.ops:
+        terminated = _emit_op(w, op)
+        if terminated:
+            break
+    if not terminated:
+        # A block with no terminator falls through (split-block heads).
+        w.flush()
+        w.line("return " + w.const(
+            "f", BlockResult("jump", block.end_pc)))
+
+    header = ["def _block(env):",
+              "    _c[1] += 1",
+              "    env.instrs_retired += %d" % len(block.instr_addrs)]
+    header.extend(_BINDINGS[name] for name in sorted(w.used))
+    source = "\n".join(header + w.lines) + "\n"
+    namespace = {"_c": _COUNTER_CELLS, "VmFault": VmFault,
+                 "BlockResult": BlockResult}
+    namespace.update(w.consts)
+    exec(compile(source, "<block-0x%08x>" % block.pc, "exec"), namespace)
+    _COUNTER_CELLS[0] += 1
+    return namespace["_block"]
+
+
+#: Content-addressed program cache shared across translators: two block
+#: objects with identical ops/layout (e.g. the same driver image loaded
+#: into many harnesses) share one compiled function.  Keys capture
+#: everything the generated source depends on, so a mid-block patch --
+#: which retranslates into different ops -- can never hit a stale entry.
+#: Bounded: long-lived sessions that keep patching/reloading code reset
+#: the table once it reaches the cap (semantics-safe -- every entry is a
+#: pure function of its key and recompiles on demand; live blocks keep
+#: their function through the per-block attribute).
+_SHARED_PROGRAMS = {}
+_SHARED_PROGRAMS_MAX = 16384
+
+
+def compile_block(block):
+    """The compiled execution function of ``block`` (cached on the block).
+
+    Returns a function ``fn(env) -> BlockResult`` with semantics identical
+    to ``run_block(block, env)``.
+    """
+    fn = getattr(block, "_compiled", None)
+    if fn is None:
+        key = (block.pc, block.size, len(block.instr_addrs),
+               tuple(block.ops))
+        fn = _SHARED_PROGRAMS.get(key)
+        if fn is None:
+            fn = _compile_block(block)
+            if len(_SHARED_PROGRAMS) >= _SHARED_PROGRAMS_MAX:
+                _SHARED_PROGRAMS.clear()
+            _SHARED_PROGRAMS[key] = fn
+        block._compiled = fn
+    return fn

@@ -1,9 +1,11 @@
-"""Concrete IR interpreter.
+"""Concrete IR interpreter (the ``interp`` execution backend).
 
-Two uses: (1) differential validation that the DBT's IR has exactly the
-semantics of the concrete CPU, and (2) the execution engine behind
-*synthesized* drivers -- the target-OS simulators run the recovered IR
-functions through this interpreter.
+Two uses: (1) differential validation that the DBT's IR -- and the
+compiled tier lowered from it (:mod:`repro.ir.compile`) -- has exactly
+the semantics of the concrete CPU, and (2) the reference execution engine
+behind *synthesized* drivers: the target-OS simulators run recovered IR
+functions through the compiled backend by default and fall back to (or
+are differentially checked against) this tree-walker.
 """
 
 from repro.errors import VmFault
@@ -62,6 +64,10 @@ class IrEnv:
         self.instrs_retired = 0
         #: Device accesses performed by synthesized code.
         self.io_ops = 0
+        #: Regular-memory accesses, counted by both backends with the
+        #: concrete CPU's per-access semantics (device accesses land in
+        #: ``io_ops`` instead).
+        self.mem_ops = 0
 
     @classmethod
     def for_machine(cls, machine):
@@ -124,11 +130,15 @@ def run_block(block, env):
             temps[op.dst] = env.mem_read(address, op.width)
             if env.is_device_address(address):
                 env.io_ops += 1
+            else:
+                env.mem_ops += 1
         elif isinstance(op, N.IrStore):
             address = val(op.addr)
             env.mem_write(address, op.width, val(op.src))
             if env.is_device_address(address):
                 env.io_ops += 1
+            else:
+                env.mem_ops += 1
         elif isinstance(op, N.IrIn):
             temps[op.dst] = env.io_read(val(op.port), op.width)
             env.io_ops += 1

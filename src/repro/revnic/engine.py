@@ -155,6 +155,7 @@ class RevNic:
         eval_after = E.eval_counters()
         stats = {
             "blocks_executed": self._blocks_total,
+            "exec_fast_blocks": self.executor.fast_blocks,
             "forks": self.executor.forks,
             "solver_queries": self.solver.queries,
             "solver_comp_solves": self.solver.comp_solves,

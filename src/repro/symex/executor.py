@@ -6,10 +6,25 @@ Hardware reads are answered by a :class:`HardwarePolicy` (the shell device
 returns fresh symbols), and calls into the import-thunk window are *not*
 executed here -- they surface as :class:`StepEvent` so the engine can run
 the concrete OS handler at the symbolic/concrete boundary.
+
+Selective symbolic execution assumes cheap concrete execution around the
+symbolic core (paper section 3): on all-concrete stretches -- no symbol in
+any register the block reads, no device/DMA access, every memory byte read
+concrete -- :meth:`SymExecutor.step` takes a **concrete fast path**, running
+the block's compiled function (:mod:`repro.ir.compile`) against a buffered
+environment and committing its effects only on success.  The moment a
+symbol flows in (a symbolic register, device read, or symbolic memory
+byte) the attempt is discarded -- nothing external was mutated -- and the
+block re-executes through the symbolic op walker, so traces, constraints,
+forks, and every deterministic counter are identical with the fast path
+on or off.
 """
 
 from dataclasses import dataclass
 
+from repro.errors import VmFault
+from repro.ir import nodes as N
+from repro.ir.compile import compile_block
 from repro.layout import RETURN_TO_OS, import_index, is_mmio
 from repro.symex import expr as E
 from repro.symex.state import PathStatus
@@ -86,11 +101,95 @@ class MemAccess:
     is_write: bool
 
 
+class _Bail(Exception):
+    """A symbol flowed into the concrete fast path: discard and go
+    symbolic."""
+
+
+class _FastEnv:
+    """Buffered all-concrete block environment.
+
+    Every effect lands in private buffers (a register-file copy, a
+    byte-granular write log, an access record list); the state is only
+    mutated on commit, so abandoning the attempt at any point -- a
+    symbolic byte, a device access, a guest fault -- leaves the state
+    untouched for an exact symbolic re-execution.
+    """
+
+    __slots__ = ("regs", "accesses", "_memory", "_writes", "_is_dma",
+                 "ops_retired", "instrs_retired", "io_ops", "mem_ops")
+
+    def __init__(self, state, is_dma):
+        self.regs = list(state.regs)
+        self.accesses = []
+        self._memory = state.memory
+        self._writes = {}         # address -> concrete byte
+        self._is_dma = is_dma
+        self.ops_retired = 0
+        self.instrs_retired = 0
+        self.io_ops = 0
+        self.mem_ops = 0
+
+    @staticmethod
+    def is_device_address(address):
+        # Device accesses never reach the counting path: mem_read /
+        # mem_write bail first.
+        return False
+
+    def mem_read(self, address, width):
+        if is_mmio(address) or self._is_dma(address):
+            raise _Bail
+        writes = self._writes
+        memory = self._memory
+        value = 0
+        for i in range(width):
+            byte = writes.get(address + i)
+            if byte is None:
+                byte = memory.read_byte(address + i)
+                if not isinstance(byte, int):
+                    raise _Bail
+            value |= (byte & 0xFF) << (8 * i)
+        self.accesses.append(MemAccess("ram", address, width, value, False))
+        return value
+
+    def mem_write(self, address, width, value):
+        if is_mmio(address) or self._is_dma(address):
+            raise _Bail
+        writes = self._writes
+        for i in range(width):
+            writes[address + i] = (value >> (8 * i)) & 0xFF
+        self.accesses.append(MemAccess("ram", address, width, value, True))
+
+    def io_read(self, port, width):
+        raise _Bail
+
+    def io_write(self, port, width, value):
+        raise _Bail
+
+    def commit(self, state):
+        state.regs[:] = self.regs
+        write_byte = state.memory.write_byte
+        for address, byte in self._writes.items():
+            write_byte(address, byte)
+
+
+def _fast_meta(block):
+    """(eligible, read_regs) for the fast path, cached on the block."""
+    meta = getattr(block, "_fast_meta", None)
+    if meta is None:
+        has_io = any(isinstance(op, (N.IrIn, N.IrOut)) for op in block.ops)
+        read_regs = tuple({op.reg for op in block.ops
+                           if isinstance(op, N.IrGetReg)})
+        meta = (not has_io, read_regs)
+        block._fast_meta = meta
+    return meta
+
+
 class SymExecutor:
     """Executes translation blocks symbolically."""
 
     def __init__(self, translator, solver, hardware=None, tracer=None,
-                 is_dma_address=None):
+                 is_dma_address=None, concrete_fast_path=True):
         self.translator = translator
         self.solver = solver
         self.hardware = hardware or HardwarePolicy()
@@ -98,6 +197,10 @@ class SymExecutor:
         self._extra_is_dma = is_dma_address
         self.blocks_executed = 0
         self.forks = 0
+        #: run fully concrete blocks through their compiled functions
+        self.concrete_fast_path = concrete_fast_path
+        #: blocks that completed on the concrete fast path
+        self.fast_blocks = 0
 
     # ------------------------------------------------------------------
 
@@ -111,6 +214,12 @@ class SymExecutor:
         state.count_block(block.pc)
         self.blocks_executed += 1
         regs_before = list(state.regs)
+
+        if self.concrete_fast_path:
+            outcome = self._step_concrete(state, block, regs_before)
+            if outcome is not None:
+                return outcome
+
         accesses = []
 
         temps = {}
@@ -133,6 +242,81 @@ class SymExecutor:
             state.pc = block.end_pc
             return [state], []
         return self._resolve_terminator(state, term_info, temps)
+
+    # ------------------------------------------------------------------
+    # Concrete fast path
+
+    def _step_concrete(self, state, block, regs_before):
+        """Try the block on the compiled concrete tier.
+
+        Returns the step outcome, or ``None`` to fall back to symbolic
+        execution (ineligible block, a symbol flowed in, or a guest fault
+        -- the buffered attempt leaves no trace, so the symbolic re-run
+        reproduces the exact interpreter behaviour, fault included).
+        """
+        eligible, read_regs = _fast_meta(block)
+        if not eligible:
+            return None
+        regs = state.regs
+        for reg in read_regs:
+            if not isinstance(regs[reg], int):
+                return None
+        env = _FastEnv(state, lambda address: self._is_dma(state, address))
+        try:
+            result = compile_block(block)(env)
+        except (_Bail, VmFault):
+            # A symbol flowed in, or the block faulted (divide by zero,
+            # unmapped memory): the buffered attempt left no trace, so
+            # the symbolic re-run reproduces the interpreter's exact
+            # behaviour, partial effects and fault included.  Anything
+            # else is a genuine bug and propagates loudly.
+            return None
+        env.commit(state)
+        self.fast_blocks += 1
+
+        if self.tracer is not None:
+            term = block.terminator
+            if isinstance(term, N.IrCondJump):
+                # The compiled function already resolved the branch; the
+                # reconstructed flag is exact unless target == fallthrough
+                # (a branch to the next instruction), where either value
+                # describes the same transfer -- tracers only consume the
+                # terminator kind and the resolved control flow.
+                taken = 1 if result.target == term.target else 0
+                term_info = ("condjump", taken, term.target,
+                             term.fallthrough)
+            elif isinstance(term, N.IrJump):
+                term_info = ("jump", result.target)
+            elif isinstance(term, N.IrCall):
+                term_info = ("call", result.target, term.return_pc)
+            elif isinstance(term, N.IrRet):
+                term_info = ("ret", result.target)
+            elif isinstance(term, N.IrHalt):
+                term_info = ("halt",)
+            else:
+                term_info = None      # split-block head: fall-through
+            self.tracer.on_block(state, block, regs_before,
+                                 list(state.regs), env.accesses, term_info)
+
+        kind = result.kind
+        if kind == "jump":
+            state.pc = result.target
+            return [state], []
+        if kind == "call":
+            slot = import_index(result.target)
+            if slot is not None:
+                return [], [StepEvent("import-call", state, slot=slot)]
+            state.pc = result.target
+            return [state], []
+        if kind == "ret":
+            if result.target == RETURN_TO_OS:
+                state.status = PathStatus.COMPLETED
+                state.return_value = state.regs[0]
+                return [], [StepEvent("completed", state)]
+            state.pc = result.target
+            return [state], []
+        state.status = PathStatus.HALTED
+        return [], [StepEvent("halted", state)]
 
     # ------------------------------------------------------------------
     # Op execution

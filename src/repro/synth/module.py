@@ -2,7 +2,9 @@
 
 The paper pastes generated C into per-OS templates and compiles.  Here the
 equivalent executable artifact is an IR module: the recovered basic blocks,
-runnable through :mod:`repro.ir.interp` against any target machine.  The
+runnable against any target machine through an
+:class:`~repro.ir.backend.ExecutionBackend` (generated-source compiled
+blocks by default, the :mod:`repro.ir.interp` tree-walker on request).  The
 target-OS simulators (:mod:`repro.targetos`) provide the template
 boilerplate around it and an ``os_interface`` that answers the driver's OS
 API calls -- the "pasting into the template" step.
@@ -23,7 +25,7 @@ blocks" developer warning).
 from dataclasses import dataclass, field
 
 from repro.errors import SynthesisError
-from repro.ir.interp import run_block
+from repro.ir.backend import get_backend
 from repro.isa.registers import REG_SP
 from repro.layout import RETURN_TO_OS, import_index
 from repro.revnic.trace import Trace
@@ -66,22 +68,26 @@ class SynthesizedDriver:
 
     # ------------------------------------------------------------------
 
-    def run_entry(self, role, env, args, os_interface, max_blocks=200_000):
+    def run_entry(self, role, env, args, os_interface, max_blocks=200_000,
+                  backend=None):
         """Execute entry point ``role`` with stack ``args`` in ``env``.
 
         ``env`` is an :class:`~repro.ir.interp.IrEnv` over the *target*
         machine; ``os_interface.call(name, arg_reader) -> (retval, nargs)``
-        answers OS API calls (the template's adaptation layer).  Returns
-        r0.
+        answers OS API calls (the template's adaptation layer).
+        ``backend`` selects the execution tier (compiled blocks by
+        default; ``"interp"`` tree-walks).  Returns r0.
         """
         entry = self.entry_points.get(role)
         if entry is None:
             raise SynthesisError("no synthesized entry point %r" % role)
-        return self.run_function(entry, env, args, os_interface, max_blocks)
+        return self.run_function(entry, env, args, os_interface, max_blocks,
+                                 backend=backend)
 
     def run_function(self, entry, env, args, os_interface,
-                     max_blocks=200_000):
+                     max_blocks=200_000, backend=None):
         """Call a recovered function at ``entry`` (stdcall protocol)."""
+        run = get_backend(backend).run
         sp = env.regs[REG_SP]
         for value in reversed(args):
             sp -= 4
@@ -94,7 +100,7 @@ class SynthesizedDriver:
             block = self.block_map.get(pc)
             if block is None:
                 raise MissingBlockError(pc)
-            result = run_block(block, env)
+            result = run(block, env)
             if result.kind == "halt":
                 raise SynthesisError("synthesized driver executed HALT")
             if result.kind == "call":

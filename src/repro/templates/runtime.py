@@ -3,9 +3,13 @@
 One instance per (synthesized driver, target OS) pair: owns the IR
 environment over the target machine and performs stdcall invocations of
 recovered entry points, routing their OS API calls through the target OS's
-adaptation table.
+adaptation table.  Entry points execute through a shared
+:class:`~repro.ir.backend.ExecutionBackend` -- generated-source compiled
+blocks by default, the tree-walking interpreter when ``exec_backend`` is
+``"interp"`` (the differential reference and ablation baseline).
 """
 
+from repro.ir.backend import get_backend
 from repro.ir.interp import IrEnv
 from repro.isa.registers import REG_SP
 from repro.layout import STACK_TOP
@@ -14,9 +18,10 @@ from repro.layout import STACK_TOP
 class SyntheticDriverRuntime:
     """Runs recovered IR functions on a target OS's machine."""
 
-    def __init__(self, driver, target_os):
+    def __init__(self, driver, target_os, exec_backend=None):
         self.driver = driver
         self.os = target_os
+        self.backend = get_backend(exec_backend)
         self.env = IrEnv.for_machine(target_os.machine)
         #: total IR ops retired by synthesized code (perf-model input)
         self.env.ops_retired = 0
@@ -54,11 +59,13 @@ class SyntheticDriverRuntime:
         self.env.regs[:] = [0] * 16
         self.env.regs[REG_SP] = STACK_TOP
         return self.driver.run_entry(role, self.env, list(args), self.os,
-                                     max_blocks=max_blocks)
+                                     max_blocks=max_blocks,
+                                     backend=self.backend)
 
     def call_address(self, entry, args, max_blocks=200_000):
         """Invoke an arbitrary recovered function by address."""
         self.env.regs[:] = [0] * 16
         self.env.regs[REG_SP] = STACK_TOP
         return self.driver.run_function(entry, self.env, list(args),
-                                        self.os, max_blocks=max_blocks)
+                                        self.os, max_blocks=max_blocks,
+                                        backend=self.backend)

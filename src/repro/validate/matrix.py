@@ -171,15 +171,21 @@ class MatrixResult:
         }
 
 
-def compute_column(artifact, os_names, scenario_names):
+def compute_column(artifact, os_names, scenario_names, exec_backend=None):
     """All cells for one driver, sharing one baseline per scenario.
 
     Pure function of the artifact and catalog -- safe to run in a worker
     process; everything it returns serializes through ``to_dict``.
+    ``exec_backend`` overrides the execution tier on *both* sides
+    (``None`` keeps the library default: compiled blocks everywhere).
     """
     driver = artifact.name
     scenarios = [CATALOG[name] for name in scenario_names]
     supported_roles = set(artifact.synthesized.entry_points)
+    original_backend = "compiled" if exec_backend is None else exec_backend
+    # The synthesized side has no per-instruction tier; "step" means the
+    # tree-walking reference there.
+    synth_backend = "interp" if exec_backend == "step" else exec_backend
     baselines = {}
     cells = []
     for os_name in os_names:
@@ -188,10 +194,13 @@ def compute_column(artifact, os_names, scenario_names):
             if not supported_roles.issuperset(scenario.requires):
                 results.append(ScenarioResult(scenario.name, "skipped"))
                 continue
-            candidate_dut = SynthesizedDut(artifact, os_name)
+            candidate_dut = SynthesizedDut(artifact, os_name,
+                                           exec_backend=synth_backend)
             baseline = baselines.get(scenario.name)
             if baseline is None:
-                baseline = run_scenario(OriginalDut(driver), scenario)
+                baseline = run_scenario(
+                    OriginalDut(driver, exec_backend=original_backend),
+                    scenario)
                 baselines[scenario.name] = baseline
             candidate = run_scenario(candidate_dut, scenario)
             divergences = compare_observations(baseline, candidate)
@@ -216,14 +225,16 @@ def _column_worker(job):
     warm runs load the artifact in milliseconds, cold runs compute it here
     (that *is* the parallel cold matrix) and persist it for everyone else.
     """
-    driver, os_names, scenario_names, strategy, script, store_root = job
+    (driver, os_names, scenario_names, strategy, script, store_root,
+     exec_backend) = job
     from repro.pipeline.orchestrator import PipelineOrchestrator
     from repro.pipeline.store import ArtifactStore
 
     store = ArtifactStore(store_root) if store_root else False
     orchestrator = PipelineOrchestrator(store=store, parallel=False)
     artifact = orchestrator.run(driver, strategy, script)
-    column = compute_column(artifact, os_names, scenario_names)
+    column = compute_column(artifact, os_names, scenario_names,
+                            exec_backend=exec_backend)
     return driver, [cell.to_dict() for cell in column]
 
 
@@ -231,7 +242,8 @@ class ValidationMatrix:
     """Runs the differential matrix over the driver corpus."""
 
     def __init__(self, orchestrator=None, drivers=None, os_names=None,
-                 scenarios=None, strategy="coverage", script="default"):
+                 scenarios=None, strategy="coverage", script="default",
+                 exec_backend=None):
         from repro.pipeline.orchestrator import PipelineOrchestrator
 
         self.orchestrator = orchestrator or PipelineOrchestrator()
@@ -241,6 +253,9 @@ class ValidationMatrix:
             if scenarios is None else list(scenarios)
         self.strategy = strategy
         self.script = script
+        #: execution-tier override for both comparison sides (None =
+        #: compiled everywhere; "interp"/"step" for the ablation)
+        self.exec_backend = exec_backend
 
     def run(self, parallel=None):
         """Compute the full matrix; returns a :class:`MatrixResult`."""
@@ -258,7 +273,8 @@ class ValidationMatrix:
             artifacts = self.orchestrator.warm(self.drivers, self.strategy,
                                                self.script)
             columns = {name: compute_column(artifacts[name], self.os_names,
-                                            self.scenario_names)
+                                            self.scenario_names,
+                                            exec_backend=self.exec_backend)
                        for name in self.drivers}
         cells = {}
         for driver in self.drivers:
@@ -279,7 +295,7 @@ class ValidationMatrix:
         store = self.orchestrator.store
         store_root = store.root if store is not None else None
         jobs = [(driver, tuple(self.os_names), tuple(self.scenario_names),
-                 self.strategy, self.script, store_root)
+                 self.strategy, self.script, store_root, self.exec_backend)
                 for driver in self.drivers]
         columns = {}
         try:

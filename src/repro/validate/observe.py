@@ -205,14 +205,23 @@ class DriverUnderTest:
 
 
 class OriginalDut(DriverUnderTest):
-    """The baseline: the original binary on the source-OS harness."""
+    """The baseline: the original binary on the source-OS harness.
+
+    ``exec_backend`` selects the CPU tier (see
+    :class:`~repro.guestos.harness.DriverHarness`): ``"compiled"`` by
+    default, ``"interp"`` for the DBT tree-walker, ``"step"`` for the
+    per-instruction interpreter.  Observations are identical across
+    tiers; only wall-clock differs.
+    """
 
     side = "original"
 
-    def __init__(self, driver_name, mac=VALIDATION_MAC):
+    def __init__(self, driver_name, mac=VALIDATION_MAC,
+                 exec_backend="compiled"):
         super().__init__(driver_name, mac)
         self._front = DriverHarness(build_driver(driver_name),
-                                    device_class(driver_name), mac=mac)
+                                    device_class(driver_name), mac=mac,
+                                    exec_backend=exec_backend)
 
     @property
     def medium(self):
@@ -259,7 +268,8 @@ class SynthesizedDut(DriverUnderTest):
     exactly as a developer picks the template for a bus-master NIC.
     """
 
-    def __init__(self, artifact, os_name, mac=VALIDATION_MAC):
+    def __init__(self, artifact, os_name, mac=VALIDATION_MAC,
+                 exec_backend=None):
         super().__init__(artifact.name, mac)
         self.target_os = os_name
         self.side = "synthesized/%s" % os_name
@@ -267,7 +277,8 @@ class SynthesizedDut(DriverUnderTest):
         template_cls = DmaNicTemplate if DRIVERS[artifact.name].uses_dma \
             else NicTemplate
         self._front = template_cls(artifact.synthesized, target,
-                                   original_image=artifact.image)
+                                   original_image=artifact.image,
+                                   exec_backend=exec_backend)
         self._os = target
 
     @property

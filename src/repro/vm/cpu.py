@@ -1,8 +1,25 @@
-"""Concrete R32 CPU interpreter."""
+"""Concrete R32 CPU: per-instruction interpreter plus a DBT mode.
+
+Two execution tiers behind one :meth:`Cpu.run`:
+
+* the historical **per-instruction interpreter** (``exec_backend=None`` or
+  ``"step"``): fetch/decode (with a decode cache) and dispatch one
+  instruction at a time;
+* **DBT mode** (``exec_backend="compiled"`` or ``"interp"``): translate a
+  whole block once through the caching
+  :class:`~repro.dbt.translator.Translator`, execute it through an
+  :class:`~repro.ir.backend.ExecutionBackend` (generated-source compiled
+  functions by default), and chain block to block.  Counter semantics
+  (``instret``, ``io_ops``, ``mem_ops``) and observable behaviour are
+  identical to the interpreter on any run that returns to the OS.
+
+Both tiers read guest code through caches; :meth:`Cpu.code_changed` is the
+single invalidation hook loaders call after (re)writing code.
+"""
 
 import enum
 
-from repro.errors import InvalidInstruction, VmFault
+from repro.errors import DecodeError, InvalidInstruction, VmFault
 from repro.isa.encoding import INSTR_SIZE, NO_REG, decode
 from repro.isa.opcodes import Op
 from repro.isa.registers import NUM_REGS, REG_SP
@@ -38,11 +55,16 @@ class Cpu:
     ``import_handler`` is invoked for ``CALL``s into the import-thunk
     window; it receives ``(cpu, import_index)`` and must return the number
     of 4-byte stack arguments consumed (stdcall callee-clean).
+
+    ``exec_backend`` selects the execution tier: ``None`` / ``"step"`` for
+    the per-instruction interpreter, ``"compiled"`` / ``"interp"`` (or an
+    :class:`~repro.ir.backend.ExecutionBackend`) for DBT mode.
     """
 
-    def __init__(self, bus, import_handler=None):
+    def __init__(self, bus, import_handler=None, exec_backend=None):
         self.bus = bus
         self.import_handler = import_handler
+        self.exec_backend = None if exec_backend == "step" else exec_backend
         self.regs = [0] * NUM_REGS
         self.pc = 0
         #: Retired instruction count (performance-model input).
@@ -52,6 +74,7 @@ class Cpu:
         #: Regular memory access count.
         self.mem_ops = 0
         self._decode_cache = {}
+        self._translator = None
 
     # ------------------------------------------------------------------
     # Register / stack helpers
@@ -80,9 +103,20 @@ class Cpu:
         ``sp`` (valid immediately after a CALL pushed the return address)."""
         return self.bus.memory.read(self.sp + 4 + 4 * slot, 4)
 
-    def invalidate_decode_cache(self):
-        """Drop cached decodes (after loading new code)."""
+    def code_changed(self):
+        """One invalidation hook for every code-derived cache.
+
+        Loaders call this after (re)writing guest code; it drops both the
+        per-instruction decode cache and DBT mode's translated/compiled
+        blocks, so neither tier can serve stale translations.
+        """
         self._decode_cache.clear()
+        if self._translator is not None:
+            self._translator.invalidate()
+
+    def invalidate_decode_cache(self):
+        """Backward-compatible alias for :meth:`code_changed`."""
+        self.code_changed()
 
     # ------------------------------------------------------------------
     # Execution
@@ -93,11 +127,73 @@ class Cpu:
         Returns the :class:`ExitReason`.  Guest faults propagate as
         :class:`~repro.errors.VmFault`.
         """
+        if self.exec_backend is not None and self.exec_backend != "step":
+            return self._run_dbt(max_steps)
         steps = 0
         try:
             while steps < max_steps:
                 self.step()
                 steps += 1
+        except CpuExit as exit_info:
+            return exit_info.reason
+        return ExitReason.STEP_LIMIT
+
+    def _run_dbt(self, max_steps):
+        """DBT mode: translate once, execute through the backend, chain.
+
+        The translator revalidates a cached block's bytes before serving
+        it (mid-block patches retranslate); the backend then runs the
+        block's compiled function (or tree-walks it) against an adapter
+        that drives this CPU's registers, bus, and counters.
+        """
+        from repro.dbt.translator import Translator
+        from repro.ir.backend import get_backend
+
+        if self._translator is None:
+            self._translator = Translator(self.bus.memory.read_bytes)
+        get_block = self._translator.get
+        run = get_backend(self.exec_backend).run
+        # Fresh adapter per run: callers may swap the register list
+        # between runs (NdisEnv.invoke restores saved registers).
+        env = _CpuEnv(self)
+        steps = 0
+        try:
+            while steps < max_steps:
+                try:
+                    block = get_block(self.pc)
+                except DecodeError as exc:
+                    # Undecodable first instruction: the per-step tier
+                    # wraps decode failures the same way.  Fetch faults
+                    # (MemoryFault from unmapped code) propagate raw,
+                    # exactly like the interpreter's _fetch.
+                    raise InvalidInstruction(
+                        "bad instruction at 0x%08x: %s"
+                        % (self.pc, exc)) from exc
+                result = run(block, env)
+                steps += len(block.instr_addrs)
+                kind = result.kind
+                if kind == "jump":
+                    self.pc = result.target
+                elif kind == "call":
+                    target = result.target
+                    slot = import_index(target)
+                    if slot is None:
+                        self.pc = target
+                    else:
+                        # The interpreter dispatches imports with ``pc``
+                        # still at the CALL site (ApiCallRecord.caller_pc
+                        # reads it); the block's last instruction is that
+                        # CALL.
+                        self.pc = block.instr_addrs[-1]
+                        self.pc = self._dispatch_import(slot)
+                elif kind == "ret":
+                    if result.target == RETURN_TO_OS:
+                        self.pc = result.target
+                        raise CpuExit(ExitReason.RETURNED_TO_OS)
+                    self.pc = result.target
+                else:  # halt
+                    self.pc = block.instr_addrs[-1]
+                    raise CpuExit(ExitReason.HALT)
         except CpuExit as exit_info:
             return exit_info.reason
         return ExitReason.STEP_LIMIT
@@ -248,3 +344,54 @@ def _remu(a, b):
     if b == 0:
         raise VmFault("divide by zero")
     return (a % b) & _MASK32
+
+
+class _CpuEnv:
+    """IrEnv-compatible adapter over a :class:`Cpu` for DBT mode.
+
+    Shares the CPU's register list and bus accessors, and proxies the
+    block-execution counters onto the CPU's own so DBT-mode counts are
+    indistinguishable from the per-instruction interpreter's (the IR makes
+    stack traffic explicit loads/stores, which land in ``mem_ops`` exactly
+    like PUSH/POP/CALL/RET accounting).
+    """
+
+    __slots__ = ("cpu", "regs", "mem_read", "mem_write", "io_read",
+                 "io_write", "is_device_address", "ops_retired")
+
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self.regs = cpu.regs
+        bus = cpu.bus
+        self.mem_read = bus.mem_read
+        self.mem_write = bus.mem_write
+        self.io_read = bus.io_read
+        self.io_write = bus.io_write
+        self.is_device_address = bus.is_device_address
+        #: IR ops retired; the CPU's unit of account is instructions
+        #: (``instret``), so this stays adapter-local.
+        self.ops_retired = 0
+
+    @property
+    def instrs_retired(self):
+        return self.cpu.instret
+
+    @instrs_retired.setter
+    def instrs_retired(self, value):
+        self.cpu.instret = value
+
+    @property
+    def io_ops(self):
+        return self.cpu.io_ops
+
+    @io_ops.setter
+    def io_ops(self, value):
+        self.cpu.io_ops = value
+
+    @property
+    def mem_ops(self):
+        return self.cpu.mem_ops
+
+    @mem_ops.setter
+    def mem_ops(self, value):
+        self.cpu.mem_ops = value

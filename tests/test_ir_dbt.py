@@ -102,7 +102,8 @@ class TestTranslation:
     def test_cache_invalidation_on_mid_block_patch(self):
         """Code patched *past* the first instruction must retranslate --
         a cache keyed only on the block's first instruction serves a stale
-        translation here."""
+        translation here.  The compiled tier rides the same discipline:
+        the fresh block object compiles to a fresh function."""
         machine = load("""
         .export main
         main:
@@ -113,6 +114,8 @@ class TestTranslation:
         translator = Translator(reader(machine))
         first = translator.get(TEXT_BASE)
         assert len(first.instr_addrs) == 3
+        from repro.ir import compile_block
+        first_fn = compile_block(first)
         from repro.isa import INSTR_SIZE, Instruction, Op, encode
         # Patch the *second* instruction (movi r2, 2 -> movi r2, 99).
         machine.memory.write_bytes(TEXT_BASE + INSTR_SIZE,
@@ -122,8 +125,55 @@ class TestTranslation:
         patched = [op for op in second.ops
                    if isinstance(op, N.IrConst) and op.value == 99]
         assert patched, "stale translation served for mid-block patch"
+        assert compile_block(second) is not first_fn
         # And an unchanged block is still a cache hit afterwards.
         assert translator.get(TEXT_BASE) is second
+
+    def test_code_changed_drops_both_cpu_caches(self):
+        """One hook invalidates every code-derived cache: the decode cache
+        (per-instruction tier) and the DBT translation cache -- loaders no
+        longer have to remember them separately."""
+        from repro.isa import INSTR_SIZE, Instruction, Op, encode
+
+        machine = load("""
+        .export main
+        main:
+            movi r1, 1
+            movi r2, 2
+            halt
+        """)
+        cpu = machine.cpu
+        # Warm the decode cache (per-instruction tier) ...
+        cpu.pc = TEXT_BASE
+        cpu.run()
+        assert cpu._decode_cache
+        assert cpu.regs[2] == 2
+        # ... and the DBT translation cache (compiled tier).
+        cpu.exec_backend = "compiled"
+        cpu.pc = TEXT_BASE
+        cpu.run()
+        assert cpu._translator._cache
+
+        # A mid-block patch followed by the one hook.
+        machine.memory.write_bytes(TEXT_BASE + INSTR_SIZE,
+                                   encode(Instruction(Op.MOVI, 2, imm=99)))
+        cpu.code_changed()
+        assert not cpu._decode_cache
+        assert not cpu._translator._cache
+
+        # Both tiers observe the patch.
+        cpu.pc = TEXT_BASE
+        cpu.run()
+        assert cpu.regs[2] == 99
+        cpu.exec_backend = None
+        cpu.regs[2] = 0
+        cpu.pc = TEXT_BASE
+        cpu.run()
+        assert cpu.regs[2] == 99
+        # The legacy name remains an alias of the unified hook.
+        cpu._decode_cache[0] = None
+        cpu.invalidate_decode_cache()
+        assert not cpu._decode_cache
 
     def test_printer_smoke(self):
         machine = load("""
