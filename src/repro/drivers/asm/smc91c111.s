@@ -62,6 +62,7 @@
 .equ ST_SUCCESS,        0x00000000
 .equ ST_FAILURE,        0xC0000001
 .equ ST_NOT_SUPPORTED,  0xC00000BB
+.equ ST_RESOURCES,      0xC000009A
 .equ ST_INVALID_LENGTH, 0xC0010014
 .equ OID_FILTER,  0x0001010E
 .equ OID_SPEED,   0x00010107
@@ -265,13 +266,24 @@ snd_ok:
     push r1
     push r8
     call sm_bank
-    ; grab a packet buffer from the on-chip MMU
+    ; grab a packet buffer from the on-chip MMU; RX can hold every
+    ; buffer of the shared packet memory, so a bounded retry and then
+    ; a resource failure back to the OS -- never an unbounded spin
+    movi r6, 4
 snd_alloc:
     movi r1, MMU_ALLOC
     st16 [r8+R_MMU], r1
     ld8 r1, [r8+R_ARR]
     and r2, r1, ARR_FAILED
-    bnz r2, snd_alloc
+    bz r2, snd_got
+    sub r6, r6, 1
+    bnz r6, snd_alloc
+    movi r1, 0xBAD0002
+    push r1
+    call @NdisWriteErrorLogEntry
+    movi r0, ST_RESOURCES
+    ret 12
+snd_got:
     and r1, r1, 0x3F
     st8 [r8+R_PNR], r1
     st32 [r9+CTX_LASTPNR], r1

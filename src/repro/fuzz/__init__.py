@@ -1,0 +1,69 @@
+"""Differential scenario fuzzing and soak testing.
+
+PR 4's validation matrix checks functional equivalence on 11 hand-written
+deterministic scenarios -- a fixed slice of an enormous input space.
+This package turns the matrix into a *sampled view of a randomized
+scenario space*:
+
+* :mod:`repro.fuzz.generate` -- seeded generation of replayable
+  :class:`~repro.net.traffic.ScenarioProgram` workloads over the traffic
+  vocabulary (bursts, runts, oversize/bad-FCS frames, link flaps, OID
+  queries, resets, interleaved bidirectional traffic);
+* :mod:`repro.fuzz.differential` -- runs each program through the
+  :class:`~repro.validate.observe.DriverUnderTest` facade on both the
+  original binary and every synthesized target-OS driver, classified by
+  the shared :mod:`repro.validate.differ` semantics;
+* :mod:`repro.fuzz.engine` -- the loop-until-dry campaign driver:
+  rounds of programs fanned out per driver over spawn workers, stopping
+  after N consecutive rounds with zero new coverage and zero new
+  divergences;
+* :mod:`repro.fuzz.artifact` -- canonical, versioned campaign
+  serialization (same seed + config + code ==> byte-identical JSON),
+  shared with the pipeline's content-addressed store;
+* :mod:`repro.fuzz.soak` -- sustained saturation workloads per driver x
+  execution backend, tracking packets/sec and divergence-free steps for
+  the ``fuzz_soak`` benchmark section;
+* :mod:`repro.fuzz.strategies` -- hypothesis strategies over the same
+  vocabulary (test-only; import requires hypothesis).
+
+See the "Fuzzing & soak" section of ``docs/validation.md``.
+"""
+
+from repro.fuzz.artifact import (FUZZ_SCHEMA_VERSION, canonical_fuzz_json,
+                                 fuzz_from_dict, fuzz_from_json, fuzz_key,
+                                 fuzz_to_dict, fuzz_to_json,
+                                 load_fuzz_result, save_fuzz_result)
+from repro.fuzz.differential import (ProgramRun, replay_program,
+                                     run_program_column)
+from repro.fuzz.engine import (FuzzConfig, FuzzEngine, FuzzResult,
+                               observation_features, program_features,
+                               run_fuzz)
+from repro.fuzz.generate import ProgramGenerator
+from repro.fuzz.soak import (SoakRecord, run_soak, saturation_program,
+                             soak_cell)
+
+__all__ = [
+    "FUZZ_SCHEMA_VERSION",
+    "canonical_fuzz_json",
+    "fuzz_from_dict",
+    "fuzz_from_json",
+    "fuzz_key",
+    "fuzz_to_dict",
+    "fuzz_to_json",
+    "load_fuzz_result",
+    "save_fuzz_result",
+    "ProgramRun",
+    "replay_program",
+    "run_program_column",
+    "FuzzConfig",
+    "FuzzEngine",
+    "FuzzResult",
+    "observation_features",
+    "program_features",
+    "run_fuzz",
+    "ProgramGenerator",
+    "SoakRecord",
+    "run_soak",
+    "saturation_program",
+    "soak_cell",
+]

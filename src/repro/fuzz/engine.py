@@ -1,0 +1,280 @@
+"""The loop-until-dry differential fuzz driver.
+
+Rounds of seeded program generation fan out across the driver corpus --
+one worker per driver column over the same spawn-pool-with-serial-
+fallback discipline as the pipeline orchestrator and the validation
+matrix -- and every (program, driver, target OS) run is classified
+against the original binary.  The loop stops when ``dry_rounds``
+consecutive rounds produce **zero new coverage and zero new unexplained
+divergences** (or at the ``max_rounds`` safety bound): the sampled
+program space has gone dry under the current vocabulary.
+
+Coverage is behavioral, not just syntactic: besides the step-op unigrams
+and bigrams a round's programs exercise, every baseline observation is
+mined for features -- distinct (driver, operation, status) triples,
+bucketed wire/delivery/interrupt counts, link drops, error-log activity
+-- so a round only counts as progress when it made some driver *do*
+something no earlier round did.
+"""
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.fuzz.differential import ProgramRun, run_program_column
+from repro.fuzz.generate import MAX_STEPS, MIN_STEPS, ProgramGenerator
+from repro.net.traffic import ScenarioProgram
+from repro.validate.matrix import OS_ORDER
+
+
+def _bucket(count):
+    """Small-count bucketing for coverage features (exact up to 4, then
+    coarse -- saturating detail where behavior actually differs)."""
+    if count < 5:
+        return str(count)
+    if count < 10:
+        return "5+"
+    return "10+"
+
+
+def program_features(program):
+    """Syntactic coverage: the step ops and op bigrams of ``program``."""
+    ops = [step.op for step in program.steps]
+    features = {"op:%s" % op for op in ops}
+    features.update("bigram:%s>%s" % pair for pair in zip(ops, ops[1:]))
+    return features
+
+
+def observation_features(driver, observation):
+    """Behavioral coverage mined from one baseline observation."""
+    features = set()
+    prefix = "beh:%s" % driver
+    for label, status in observation.statuses:
+        features.add("%s:status:%s:0x%x" % (prefix, label, status))
+    features.add("%s:wire:%s" % (prefix, _bucket(len(
+        observation.wire_frames))))
+    features.add("%s:delivered:%s" % (prefix, _bucket(len(
+        observation.delivered))))
+    features.add("%s:irq:%s" % (prefix, _bucket(observation.irq_count)))
+    features.add("%s:drops:%s" % (prefix, _bucket(observation.link_drops)))
+    if observation.error_log:
+        features.add("%s:errlog" % prefix)
+    if not observation.ok:
+        features.add("%s:error:%s" % (prefix, observation.error))
+    return features
+
+
+@dataclass
+class FuzzConfig:
+    """One fuzz campaign's parameters (the replay key, minus the code)."""
+
+    drivers: tuple = ()        # () -> the whole corpus
+    os_names: tuple = tuple(OS_ORDER)
+    base_seed: int = 0xC0FFEE
+    programs_per_round: int = 4
+    max_rounds: int = 8
+    dry_rounds: int = 2
+    min_steps: int = MIN_STEPS
+    max_steps: int = MAX_STEPS
+    strategy: str = "coverage"
+    script: str = "default"
+    exec_backend: str = None
+
+    def resolved_drivers(self):
+        from repro.drivers import DRIVERS
+
+        return tuple(sorted(DRIVERS)) if not self.drivers \
+            else tuple(self.drivers)
+
+    def to_dict(self):
+        return {"drivers": list(self.resolved_drivers()),
+                "os_names": list(self.os_names),
+                "base_seed": self.base_seed,
+                "programs_per_round": self.programs_per_round,
+                "max_rounds": self.max_rounds,
+                "dry_rounds": self.dry_rounds,
+                "min_steps": self.min_steps,
+                "max_steps": self.max_steps,
+                "strategy": self.strategy,
+                "script": self.script,
+                "exec_backend": self.exec_backend}
+
+
+@dataclass
+class FuzzResult:
+    """Everything one campaign produced, serializable for the store."""
+
+    config: dict
+    programs: list = field(default_factory=list)   # program dicts, in order
+    runs: list = field(default_factory=list)       # ProgramRun, in order
+    coverage: set = field(default_factory=set)
+    rounds: list = field(default_factory=list)     # per-round summaries
+    wall_seconds: float = 0.0
+    mode: str = "serial"
+    stopped: str = "dry"       # 'dry' | 'budget'
+
+    def unexplained(self):
+        return [run for run in self.runs if run.unexplained]
+
+    def summary(self):
+        verdicts = [run.verdict for run in self.runs]
+        return {
+            "programs": len(self.programs),
+            "runs": len(self.runs),
+            "steps": sum(run.steps for run in self.runs),
+            "matched": verdicts.count("match"),
+            "divergent": verdicts.count("divergent"),
+            "unsupported": verdicts.count("unsupported"),
+            "skipped": verdicts.count("skipped"),
+            "unexplained": len(self.unexplained()),
+            "coverage": len(self.coverage),
+            "rounds": len(self.rounds),
+            "stopped": self.stopped,
+            "mode": self.mode,
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+def _fuzz_column_worker(job):
+    """Pool target: one driver's runs for one round's programs.
+
+    Same discipline as the matrix column worker: the worker builds its
+    own orchestrator over the shared store root, loads (or cold-computes
+    and persists) the driver artifact, and returns serialized results.
+    """
+    (driver, os_names, program_texts, strategy, script, store_root,
+     exec_backend) = job
+    from repro.pipeline.orchestrator import PipelineOrchestrator
+    from repro.pipeline.store import ArtifactStore
+
+    store = ArtifactStore(store_root) if store_root else False
+    orchestrator = PipelineOrchestrator(store=store, parallel=False)
+    artifact = orchestrator.run(driver, strategy, script)
+    programs = [ScenarioProgram.from_json(text) for text in program_texts]
+    runs, baselines = run_program_column(artifact, os_names, programs,
+                                         exec_backend=exec_backend)
+    features = set()
+    for name, observation in baselines.items():
+        features |= observation_features(driver, observation)
+    return driver, [run.to_dict() for run in runs], sorted(features)
+
+
+class FuzzEngine:
+    """Runs a differential fuzz campaign over the driver corpus."""
+
+    def __init__(self, orchestrator=None, config=None):
+        from repro.pipeline.orchestrator import PipelineOrchestrator
+
+        self.orchestrator = orchestrator or PipelineOrchestrator()
+        self.config = config or FuzzConfig()
+        self.generator = ProgramGenerator(min_steps=self.config.min_steps,
+                                          max_steps=self.config.max_steps)
+
+    def run(self, parallel=None):
+        """Fuzz until dry (or the round budget); returns a
+        :class:`FuzzResult`."""
+        config = self.config
+        started = time.monotonic()
+        if parallel is None:
+            parallel = self.orchestrator.parallel \
+                and (os.cpu_count() or 1) > 1
+        drivers = config.resolved_drivers()
+        result = FuzzResult(config=config.to_dict())
+        mode = "serial"
+        dry_streak = 0
+        seed_cursor = config.base_seed
+        for round_index in range(config.max_rounds):
+            programs = self.generator.programs(seed_cursor,
+                                               config.programs_per_round)
+            seed_cursor += config.programs_per_round
+            round_runs, round_features, round_mode = self._run_round(
+                drivers, programs, parallel)
+            if round_mode == "parallel":
+                mode = "parallel"
+            for program in programs:
+                round_features |= program_features(program)
+            new_features = round_features - result.coverage
+            new_unexplained = [run for run in round_runs
+                               if run.unexplained]
+            result.coverage |= round_features
+            result.programs.extend(p.to_dict() for p in programs)
+            result.runs.extend(round_runs)
+            result.rounds.append({
+                "round": round_index,
+                "seeds": [p.seed for p in programs],
+                "new_coverage": len(new_features),
+                "new_divergences": len(new_unexplained),
+            })
+            if not new_features and not new_unexplained:
+                dry_streak += 1
+                if dry_streak >= config.dry_rounds:
+                    break
+            else:
+                dry_streak = 0
+        else:
+            result.stopped = "budget"
+        result.mode = mode
+        result.wall_seconds = time.monotonic() - started
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _run_round(self, drivers, programs, parallel):
+        """One round's (driver x program x OS) runs; pool when possible."""
+        if parallel and len(drivers) > 1:
+            pooled = self._run_pool(drivers, programs)
+            if pooled is not None:
+                return pooled[0], pooled[1], "parallel"
+        runs = []
+        features = set()
+        for driver in drivers:
+            artifact = self.orchestrator.run(driver, self.config.strategy,
+                                             self.config.script)
+            column, baselines = run_program_column(
+                artifact, self.config.os_names, programs,
+                exec_backend=self.config.exec_backend)
+            runs.extend(column)
+            for observation in baselines.values():
+                features |= observation_features(driver, observation)
+        return runs, features, "serial"
+
+    def _run_pool(self, drivers, programs):
+        """Fan driver columns out across spawn workers; ``None`` on any
+        pool-level failure (the caller falls back to serial)."""
+        import concurrent.futures
+        import multiprocessing
+
+        store = self.orchestrator.store
+        store_root = store.root if store is not None else None
+        program_texts = tuple(p.to_json() for p in programs)
+        jobs = [(driver, tuple(self.config.os_names), program_texts,
+                 self.config.strategy, self.config.script, store_root,
+                 self.config.exec_backend) for driver in drivers]
+        collected = {}
+        try:
+            context = multiprocessing.get_context("spawn")
+            workers = self.orchestrator.max_workers \
+                or min(len(jobs), os.cpu_count() or 1)
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context) as pool:
+                for driver, encoded, features in pool.map(
+                        _fuzz_column_worker, jobs):
+                    collected[driver] = (encoded, features)
+        except Exception:
+            return None
+        if set(collected) != set(drivers):
+            return None
+        runs = []
+        features = set()
+        for driver in drivers:
+            encoded, column_features = collected[driver]
+            runs.extend(ProgramRun.from_dict(r) for r in encoded)
+            features.update(column_features)
+        return runs, features
+
+
+def run_fuzz(orchestrator=None, parallel=None, **config_kwargs):
+    """One-call entry point: build and run a fuzz campaign."""
+    config = FuzzConfig(**config_kwargs)
+    return FuzzEngine(orchestrator=orchestrator, config=config) \
+        .run(parallel=parallel)

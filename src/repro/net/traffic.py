@@ -11,6 +11,9 @@ byte streams -- because the matrix compares the original binary and the
 synthesized driver on *exactly* the same traffic.
 """
 
+import json
+from dataclasses import dataclass, field
+
 from repro.net.crc import crc32_ethernet
 from repro.net.ethernet import (HEADER_LEN, MAX_PAYLOAD, MIN_PAYLOAD,
                                 EthernetFrame, EtherType)
@@ -174,3 +177,255 @@ class BidirectionalBurst:
                 yield "tx", frame.to_bytes()
             for frame in self.rx.frames(rx_burst):
                 yield "rx", frame.to_bytes()
+
+
+# ==========================================================================
+# Scenario programs (the fuzzer's replayable workload formalization)
+#
+# A ScenarioProgram lifts the ad-hoc scenario functions of
+# repro.validate.scenarios into *data*: an ordered list of ScenarioSteps,
+# each a (op, params) pair over the DriverUnderTest facade vocabulary.
+# Programs serialize to canonical JSON, so any fuzzer-generated workload
+# replays bit-for-bit from its serialized form alone -- no generator, no
+# seed, no library version required.  A program duck-types the Scenario
+# contract (name / requires / run), so everything that can drive a
+# catalog scenario (run_scenario, the matrix, the differential fuzzer)
+# can drive a program unchanged.
+
+#: Destination-address palette for injected frames.  ``station`` resolves
+#: to the DUT's programmed MAC at run time; everything else is a fixed
+#: address so serialized programs stay self-contained.
+DST_KINDS = {
+    "station": None,
+    "stranger": b"\x02\x99\x02\x99\x02\x99",
+    "broadcast": b"\xff" * 6,
+    "multicast_a": b"\x01\x00\x5e\x00\x00\x01",
+    "multicast_b": b"\x01\x00\x5e\x00\x00\x17",
+    "multicast_out": b"\x01\x00\x5e\x7f\x00\x42",
+}
+
+#: Multicast groups a ``set_multicast`` step may program, by palette key.
+MULTICAST_GROUPS = ("multicast_a", "multicast_b", "multicast_out")
+
+
+def resolve_dst(kind, dut):
+    """The destination MAC a palette ``kind`` names for this DUT."""
+    if kind not in DST_KINDS:
+        raise ValueError("unknown dst kind %r" % (kind,))
+    resolved = DST_KINDS[kind]
+    return dut.mac if resolved is None else resolved
+
+
+# -- step executors: one per vocabulary op ---------------------------------
+
+def _step_send_burst(dut, p):
+    workload = UdpWorkload(dut.mac, dut.peer, p["size"])
+    for frame in workload.frames(p["count"]):
+        dut.send(frame.to_bytes())
+
+
+def _step_inject_burst(dut, p):
+    workload = UdpWorkload(dut.peer, dut.mac, p["size"],
+                           src_ip=b"\x0a\x00\x00\x02",
+                           dst_ip=b"\x0a\x00\x00\x01",
+                           src_port=9001, dst_port=9000)
+    for frame in workload.frames(p["count"]):
+        dut.inject(frame.to_bytes())
+
+
+def _step_quiet_burst(dut, p):
+    for frame in overflow_burst(dut.peer, dut.mac, count=p["count"],
+                                payload_size=p["size"]):
+        dut.inject_quiet(frame)
+
+
+def _step_service(dut, p):
+    dut.service()
+
+
+def _step_inject_tagged(dut, p):
+    dut.inject(addressed_frame(resolve_dst(p["dst"], dut), dut.peer,
+                               tag=p["tag"]))
+
+
+def _step_inject_runt(dut, p):
+    dut.inject(runt_frame(dut.mac, dut.peer, total_length=p["length"],
+                          seed=p.get("seed", 0)))
+
+
+def _step_inject_oversize(dut, p):
+    dut.inject(oversize_frame(dut.mac, dut.peer,
+                              payload_length=p["length"],
+                              seed=p.get("seed", 0)))
+
+
+def _step_inject_fcs(dut, p):
+    base = addressed_frame(dut.mac, dut.peer, tag=p["tag"])
+    dut.inject(frame_with_fcs(base, corrupt=bool(p["corrupt"])))
+
+
+def _step_bidirectional(dut, p):
+    burst = BidirectionalBurst(dut.mac, dut.peer,
+                               payload_size=p["size"],
+                               rounds=p["rounds"],
+                               pattern=tuple(p["pattern"]))
+    for kind, frame in burst.events():
+        if kind == "tx":
+            dut.send(frame)
+        else:
+            dut.inject(frame)
+
+
+def _step_set_link(dut, p):
+    dut.set_link(bool(p["up"]))
+
+
+def _step_link_flap(dut, p):
+    """The proven cable-pull pattern: link down, traffic into the void,
+    link up, reset (the driver-visible recovery the catalog exercises)."""
+    dut.set_link(False)
+    workload = UdpWorkload(dut.mac, dut.peer, p["size"])
+    for frame in workload.frames(p["frames_down"]):
+        dut.send(frame.to_bytes())
+    dut.set_link(True)
+    dut.reset()
+
+
+def _step_reset(dut, p):
+    dut.reset()
+
+
+def _step_set_filter(dut, p):
+    dut.set_packet_filter(p["flags"])
+
+
+def _step_set_multicast(dut, p):
+    dut.set_multicast_list([resolve_dst(g, dut) for g in p["groups"]])
+
+
+def _step_query_mac(dut, p):
+    dut.query_mac()
+
+
+def _step_query_link_speed(dut, p):
+    dut.query_link_speed()
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One vocabulary op: its executor and the entry-point roles (beyond
+    initialize/send/isr) a driver must carry to run it."""
+
+    execute: callable
+    requires: tuple = ()
+
+
+#: The step vocabulary.  Adding an op here is all the formal machinery a
+#: new fuzz strategy needs: generators emit (op, params), replay runs it.
+STEP_VOCABULARY = {
+    "send_burst": StepSpec(_step_send_burst),
+    "inject_burst": StepSpec(_step_inject_burst),
+    "quiet_burst": StepSpec(_step_quiet_burst),
+    "service": StepSpec(_step_service),
+    "inject_tagged": StepSpec(_step_inject_tagged),
+    "inject_runt": StepSpec(_step_inject_runt),
+    "inject_oversize": StepSpec(_step_inject_oversize),
+    "inject_fcs": StepSpec(_step_inject_fcs),
+    "bidirectional": StepSpec(_step_bidirectional),
+    "set_link": StepSpec(_step_set_link),
+    "link_flap": StepSpec(_step_link_flap, requires=("reset",)),
+    "reset": StepSpec(_step_reset, requires=("reset",)),
+    "set_filter": StepSpec(_step_set_filter,
+                           requires=("set_information",)),
+    "set_multicast": StepSpec(_step_set_multicast,
+                              requires=("set_information",)),
+    "query_mac": StepSpec(_step_query_mac,
+                          requires=("query_information",)),
+    "query_link_speed": StepSpec(_step_query_link_speed,
+                                 requires=("query_information",)),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioStep:
+    """One (op, params) pair over the DriverUnderTest vocabulary."""
+
+    op: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.op not in STEP_VOCABULARY:
+            raise ValueError("unknown step op %r" % (self.op,))
+        # a step is a value: detach from the caller's mutable dict
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def requires(self):
+        return STEP_VOCABULARY[self.op].requires
+
+    def execute(self, dut):
+        STEP_VOCABULARY[self.op].execute(dut, self.params)
+
+    def to_list(self):
+        """``[op, params]`` -- the serialized step form."""
+        return [self.op, dict(self.params)]
+
+    @classmethod
+    def from_list(cls, data):
+        op, params = data
+        return cls(op=op, params=dict(params))
+
+
+@dataclass(frozen=True)
+class ScenarioProgram:
+    """A replayable workload: boot, then a fixed step list.
+
+    Duck-types the :class:`repro.validate.scenarios.Scenario` contract
+    (``name`` / ``description`` / ``requires`` / ``run``), so programs
+    flow through ``run_scenario`` and the differential machinery exactly
+    like catalog scenarios.  ``seed`` records how the program was
+    generated; replay never uses it -- the step list alone is the
+    program.
+    """
+
+    name: str
+    steps: tuple
+    seed: int = 0
+    description: str = "generated scenario program"
+
+    @property
+    def requires(self):
+        roles = set()
+        for step in self.steps:
+            roles.update(step.requires)
+        return tuple(sorted(roles))
+
+    def run(self, dut):
+        dut.boot()
+        for step in self.steps:
+            step.execute(dut)
+
+    # -- serialization (canonical: replay needs the JSON alone) --------
+
+    def to_dict(self):
+        return {"name": self.name, "seed": self.seed,
+                "description": self.description,
+                "steps": [step.to_list() for step in self.steps]}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(name=data["name"], seed=data.get("seed", 0),
+                   description=data.get("description",
+                                        "generated scenario program"),
+                   steps=tuple(ScenarioStep.from_list(s)
+                               for s in data["steps"]))
+
+    def to_json(self):
+        """Canonical JSON: sorted keys, no whitespace -- two equal
+        programs serialize byte-identically."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))

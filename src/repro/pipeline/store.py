@@ -117,6 +117,22 @@ class ArtifactStore:
         """Serialize and store ``artifact``; returns the file path."""
         return self.save_json(key, to_json(artifact))
 
+    def load_json(self, key):
+        """Raw JSON text stored under ``key``, or ``None``.
+
+        The generic counterpart of :meth:`save_json` for non-RunArtifact
+        entries (the fuzzer's corpus and divergence records share the
+        store); schema validation is the caller's business.
+        """
+        try:
+            with open(self.path_for(key), "r") as handle:
+                text = handle.read()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return text
+
     def save_json(self, key, text):
         os.makedirs(self.root, exist_ok=True)
         path = self.path_for(key)

@@ -33,6 +33,10 @@ class LinSim(TargetOs):
 
     def printk(self, code):
         self.printk_log.append(code)
+        # a driver-error printk is Linux's error-log channel: it must
+        # land in the cross-OS observable log, or error-path behaviour
+        # silently diverges from every other target
+        self.error_log.append(code)
         return 0
 
     def adaptation_table(self):

@@ -12,7 +12,9 @@ layers:
 * :mod:`repro.validate.scenarios` -- the workload catalog (UDP streams,
   bidirectional bursts, runt/oversize/bad-FCS frames, RX-ring overflow,
   filter mixes, link flaps, control plane);
-* :mod:`repro.validate.compare` -- field-by-field divergence semantics;
+* :mod:`repro.validate.differ` -- field-by-field divergence semantics
+  plus the shared match / unsupported / divergent verdict rule (the
+  matrix and the scenario fuzzer classify identically);
 * :mod:`repro.validate.matrix` -- the matrix runner: per-driver columns
   fanned out over the pipeline's process pool, artifacts served from the
   on-disk store, cells classified equivalent / unsupported / divergent
@@ -22,8 +24,9 @@ See ``docs/validation.md`` for the catalog, the divergence semantics and
 how to extend either.
 """
 
-from repro.validate.compare import (COMPARED_FIELDS, Divergence,
-                                    compare_observations)
+from repro.validate.differ import (COMPARED_FIELDS, DifferentialVerdict,
+                                   Divergence, classify_observations,
+                                   compare_observations)
 from repro.validate.matrix import (EXPECTED_UNSUPPORTED, OS_ORDER,
                                    CellResult, MatrixResult, ScenarioResult,
                                    ValidationMatrix, compute_column,
@@ -36,7 +39,9 @@ from repro.validate.scenarios import CATALOG, SCENARIOS, Scenario, \
 
 __all__ = [
     "COMPARED_FIELDS",
+    "DifferentialVerdict",
     "Divergence",
+    "classify_observations",
     "compare_observations",
     "EXPECTED_UNSUPPORTED",
     "OS_ORDER",

@@ -1,82 +1,15 @@
-"""Divergence semantics: what "functionally equivalent" means here.
+"""Back-compat shim: the comparison layer moved to
+:mod:`repro.validate.differ`.
 
-Two observations are equivalent when every *compared field* matches
-exactly.  The compared fields are the externally visible contract of a NIC
-driver: frames on the wire, frames delivered to the OS, operation status
-codes in order, device state and statistics, OID answers, interrupt counts
-and logged errors.  Deliberately **not** compared:
-
-* ``side`` / OS identity (that is the experiment variable);
-* OS API call *counts* -- the template does not re-run ``DriverEntry``
-  and each OS adapts calls differently, so call totals differ by
-  construction while behavior does not;
-* wall-clock anything -- performance is the perf model's business
-  (Figures 2-7), not the equivalence matrix's.
-
-A mismatch produces a :class:`Divergence` naming the field and the first
-point of disagreement; the matrix never stops at the first divergent
-field, so one scenario can report several.
+The field-by-field divergence semantics started life here; when the
+scenario fuzzer joined the matrix as a second differential consumer, the
+comparison *and* the verdict classification were extracted into the
+standalone ``differ`` module so both drive the exact same equivalence
+rule.  Import from :mod:`repro.validate.differ` (or the package root) in
+new code.
 """
 
-from dataclasses import asdict, dataclass
+from repro.validate.differ import (COMPARED_FIELDS, Divergence,
+                                   compare_observations)
 
-#: Fields compared for equivalence, in report order.
-COMPARED_FIELDS = (
-    "ok", "error", "statuses", "wire_frames", "delivered", "link_drops",
-    "device_stats", "device_state", "oids", "irq_count", "error_log",
-)
-
-
-@dataclass(frozen=True)
-class Divergence:
-    """One field on which baseline and candidate disagree."""
-
-    field: str
-    detail: str
-
-    def to_dict(self):
-        return asdict(self)
-
-    @classmethod
-    def from_dict(cls, data):
-        return cls(**data)
-
-
-def _frame_list_detail(name, baseline, candidate):
-    if len(baseline) != len(candidate):
-        return "%d %s vs %d" % (len(baseline), name, len(candidate))
-    for index, (b, c) in enumerate(zip(baseline, candidate)):
-        if b != c:
-            return "%s[%d]: %s... vs %s..." % (name, index, str(b)[:24],
-                                               str(c)[:24])
-    return "%s differ" % name
-
-
-def _dict_detail(name, baseline, candidate):
-    keys = sorted(set(baseline) | set(candidate))
-    for key in keys:
-        b, c = baseline.get(key), candidate.get(key)
-        if b != c:
-            return "%s[%s]: %r vs %r" % (name, key, b, c)
-    return "%s differ" % name
-
-
-def compare_observations(baseline, candidate, ignore=()):
-    """All divergences between two observations of one scenario."""
-    divergences = []
-    for field_name in COMPARED_FIELDS:
-        if field_name in ignore:
-            continue
-        b = getattr(baseline, field_name)
-        c = getattr(candidate, field_name)
-        if b == c:
-            continue
-        if field_name in ("wire_frames", "delivered", "statuses",
-                          "error_log"):
-            detail = _frame_list_detail(field_name, b, c)
-        elif field_name in ("device_stats", "device_state", "oids"):
-            detail = _dict_detail(field_name, b, c)
-        else:
-            detail = "%r vs %r" % (b, c)
-        divergences.append(Divergence(field=field_name, detail=detail))
-    return divergences
+__all__ = ["COMPARED_FIELDS", "Divergence", "compare_observations"]

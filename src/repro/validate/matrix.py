@@ -31,7 +31,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.drivers import DRIVERS
-from repro.validate.compare import Divergence, compare_observations
+from repro.validate.differ import Divergence, classify_observations
 from repro.validate.observe import OriginalDut, SynthesizedDut
 from repro.validate.scenarios import CATALOG, SCENARIOS, run_scenario
 
@@ -203,15 +203,10 @@ def compute_column(artifact, os_names, scenario_names, exec_backend=None):
                     scenario)
                 baselines[scenario.name] = baseline
             candidate = run_scenario(candidate_dut, scenario)
-            divergences = compare_observations(baseline, candidate)
-            if not divergences:
-                verdict = "match"
-            elif not candidate.ok and candidate.error == "TemplateError":
-                verdict = "unsupported"
-            else:
-                verdict = "divergent"
-            results.append(ScenarioResult(scenario.name, verdict,
-                                          divergences, candidate.error))
+            outcome = classify_observations(baseline, candidate)
+            results.append(ScenarioResult(scenario.name, outcome.verdict,
+                                          outcome.divergences,
+                                          outcome.candidate_error))
         cells.append(CellResult(driver=driver, target_os=os_name,
                                 expected=expected_status(driver, os_name),
                                 scenarios=results))

@@ -1,0 +1,172 @@
+"""Deterministic replay of the pinned fuzz corpus.
+
+Every JSON file under ``tests/fuzz_corpus/`` is a frozen scenario
+program plus the driver/OS cells it must stay clean on.  The entries
+replay here on every tier-1 run -- a fuzz finding, once pinned, is a
+permanent regression test that needs nothing but its serialized form.
+
+Also here: the DMA link-flap-mid-burst regression (pinning the
+observation *ordering* on all four target OSes) and the traffic edge
+cases the deterministic catalog never reaches, each asserted across
+both execution backends.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.eval.runner import get_cache
+from repro.fuzz import ProgramGenerator, replay_program
+from repro.net.traffic import ScenarioProgram, ScenarioStep
+from repro.validate.differ import compare_observations
+from repro.validate.matrix import OS_ORDER
+from repro.validate.observe import OriginalDut, SynthesizedDut
+from repro.validate.scenarios import run_scenario
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+CORPUS_FILES = sorted(name for name in os.listdir(CORPUS_DIR)
+                      if name.endswith(".json"))
+
+
+def _load(name):
+    with open(os.path.join(CORPUS_DIR, name)) as fh:
+        return json.load(fh)
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS_FILES) >= 5
+
+
+@pytest.mark.parametrize("name", CORPUS_FILES)
+def test_corpus_entry_is_well_formed(name):
+    entry = _load(name)
+    assert entry["schema"] == 1
+    assert entry["note"]
+    assert entry["drivers"] and entry["os_names"]
+    program = ScenarioProgram.from_dict(entry["program"])
+    assert program.steps
+
+
+@pytest.mark.parametrize("name", [n for n in CORPUS_FILES
+                                  if n.startswith("seed-")])
+def test_seed_entries_regenerate_byte_identically(name):
+    """A seed-derived corpus entry must be exactly what the generator
+    produces for that seed today -- the replayability guarantee."""
+    entry = _load(name)
+    seed = entry["program"]["seed"]
+    regenerated = ProgramGenerator().program(seed)
+    assert regenerated.to_dict() == entry["program"]
+
+
+@pytest.mark.parametrize("name", CORPUS_FILES)
+def test_corpus_replays_clean(name):
+    """Replaying every pinned program leaves zero unexplained runs."""
+    entry = _load(name)
+    cache = get_cache()
+    for driver in entry["drivers"]:
+        artifact = cache.run(driver)
+        runs = replay_program(entry["program"], driver,
+                              tuple(entry["os_names"]), artifact)
+        unexplained = [(run.target_os, run.verdict, run.candidate_error)
+                       for run in runs if run.unexplained]
+        assert unexplained == [], \
+            "%s: %s replays dirty: %r" % (name, driver, unexplained)
+
+
+# ---------------------------------------------------------------------------
+# Regression: link flap during an in-flight DMA burst
+# ---------------------------------------------------------------------------
+
+def _linkflap_program():
+    entry = _load("dma-linkflap-midburst.json")
+    return ScenarioProgram.from_dict(entry["program"])
+
+
+#: The pinned observation ordering: the unserviced burst produces no
+#: send statuses (frames arrive from the wire), the two frames sent into
+#: a down link still report success to the OS (loss is the medium's
+#: business, not the driver's), the flap's recovery reset lands *after*
+#: them, and the post-flap OID query comes last.
+PINNED_STATUSES = [["boot", 0], ["send", 0], ["send", 0], ["reset", 0],
+                   ["query_mac", 0]]
+
+
+@pytest.mark.parametrize("driver", ["rtl8139", "pcnet"])
+class TestDmaLinkFlapRegression:
+    def test_baseline_observation_ordering_is_pinned(self, driver):
+        program = _linkflap_program()
+        observation = run_scenario(OriginalDut(driver), program)
+        assert observation.ok
+        assert observation.statuses == PINNED_STATUSES
+
+    def test_ordering_holds_on_every_target_os(self, driver):
+        program = _linkflap_program()
+        artifact = get_cache().run(driver)
+        runs = replay_program(program, driver, tuple(OS_ORDER), artifact)
+        verdicts = {run.target_os: run.verdict for run in runs}
+        # ucsim has no shared-memory DMA API: verified-unsupported, the
+        # same cell the validation matrix pins.
+        assert verdicts == {"winsim": "match", "linsim": "match",
+                            "ucsim": "unsupported", "kitos": "match"}
+        for run in runs:
+            assert not run.unexplained
+        # the matching OSes reproduce the ordering byte-for-byte
+        for os_name in ("winsim", "linsim", "kitos"):
+            observation = run_scenario(
+                SynthesizedDut(artifact, os_name), program)
+            assert observation.statuses == PINNED_STATUSES
+
+
+# ---------------------------------------------------------------------------
+# Traffic edge cases the deterministic catalog never reaches
+# ---------------------------------------------------------------------------
+
+EDGE_PROGRAMS = {
+    "zero-length-burst": ScenarioProgram(
+        name="edge-zero-length-burst",
+        description="a burst of zero frames is a legal no-op",
+        steps=(
+            ScenarioStep("quiet_burst", {"size": 64, "count": 0}),
+            ScenarioStep("service", {}),
+            ScenarioStep("send_burst", {"size": 64, "count": 1}),
+        )),
+    "back-to-back-flaps": ScenarioProgram(
+        name="edge-back-to-back-flaps",
+        description="two link flaps with no traffic between them",
+        steps=(
+            ScenarioStep("link_flap", {"size": 128, "frames_down": 1}),
+            ScenarioStep("link_flap", {"size": 128, "frames_down": 0}),
+            ScenarioStep("send_burst", {"size": 128, "count": 2}),
+        )),
+    "adversarial-then-reset": ScenarioProgram(
+        name="edge-adversarial-then-reset",
+        description="bad-FCS and runt frames immediately before a reset",
+        steps=(
+            ScenarioStep("inject_fcs", {"tag": 7, "corrupt": True}),
+            ScenarioStep("inject_runt", {"length": 12, "seed": 9}),
+            ScenarioStep("reset", {}),
+            ScenarioStep("inject_tagged", {"dst": "station", "tag": 8}),
+            ScenarioStep("service", {}),
+        )),
+}
+
+
+@pytest.mark.parametrize("edge", sorted(EDGE_PROGRAMS))
+@pytest.mark.parametrize("driver", ["rtl8029", "rtl8139"])
+class TestTrafficEdgeCases:
+    def test_backends_agree_on_baseline(self, driver, edge):
+        """compiled and interp original backends observe identically."""
+        program = EDGE_PROGRAMS[edge]
+        compiled = run_scenario(
+            OriginalDut(driver, exec_backend="compiled"), program)
+        interp = run_scenario(
+            OriginalDut(driver, exec_backend="interp"), program)
+        assert compiled.ok
+        assert compare_observations(compiled, interp) == []
+
+    def test_synthesized_matches_on_winsim(self, driver, edge):
+        program = EDGE_PROGRAMS[edge]
+        artifact = get_cache().run(driver)
+        runs = replay_program(program, driver, ("winsim",), artifact)
+        assert [run.verdict for run in runs] == ["match"]

@@ -119,3 +119,56 @@ class TestMediumLink:
         a = [f.to_bytes() for f in UdpWorkload(MAC, PEER, 128).frames(3)]
         b = [f.to_bytes() for f in UdpWorkload(MAC, PEER, 128).frames(3)]
         assert a == b
+
+
+class TestScenarioProgramLayer:
+    """Traffic-layer edges of the fuzzer's program formalization (the
+    differential behavior is covered in test_fuzz / test_fuzz_replay)."""
+
+    def test_overflow_burst_of_zero_frames_is_empty(self):
+        assert overflow_burst(PEER, MAC, count=0) == []
+
+    def test_overflow_burst_frames_are_addressed(self):
+        frames = overflow_burst(PEER, MAC, count=3, payload_size=64)
+        assert len(frames) == 3
+        for frame in frames:
+            assert frame[0:6] == MAC and frame[6:12] == PEER
+
+    def test_resolve_dst_station_reads_the_dut(self):
+        from repro.net.traffic import DST_KINDS, resolve_dst
+
+        dut = type("Dut", (), {"mac": MAC})()
+        assert resolve_dst("station", dut) == MAC
+        for kind, fixed in DST_KINDS.items():
+            if kind != "station":
+                assert resolve_dst(kind, dut) == fixed
+
+    def test_step_params_are_defensively_copied(self):
+        from repro.net.traffic import ScenarioStep
+
+        params = {"size": 64, "count": 1}
+        step = ScenarioStep("send_burst", params)
+        params["count"] = 99
+        assert step.params["count"] == 1
+
+    def test_program_run_requires_a_boot(self):
+        """run() boots the DUT before the first step -- a program never
+        executes against an unbooted device."""
+        from repro.net.traffic import ScenarioProgram, ScenarioStep
+
+        calls = []
+
+        class Dut:
+            mac = MAC
+            peer = PEER
+
+            def boot(self):
+                calls.append("boot")
+
+            def service(self):
+                calls.append("service")
+
+        program = ScenarioProgram(name="p",
+                                  steps=(ScenarioStep("service", {}),))
+        program.run(Dut())
+        assert calls == ["boot", "service"]
