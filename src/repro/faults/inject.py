@@ -1,0 +1,141 @@
+"""Applying fault schedules: the mechanics of breaking things on purpose.
+
+Three entry points, one per layer:
+
+* :func:`apply_worker_fault` runs inside a supervised pool child, before
+  the real worker: it kills the process, hangs it past the supervisor's
+  job timeout, or substitutes a garbage payload;
+* :func:`maybe_raise_run_fault` is consulted by
+  :func:`repro.pipeline.orchestrator.execute_run` between pipeline
+  stages: it raises the induced, classified exception
+  (:class:`GuestOsError` / :class:`SolverError`) the schedule asks for;
+* :func:`corrupt_store_entry` vandalizes an on-disk
+  :class:`~repro.pipeline.store.ArtifactStore` deterministically --
+  truncation, a single flipped bit, an orphaned temp file, or a publish
+  crashed mid-``os.replace``.
+
+Everything here is deterministic given the fault spec and the store
+contents; nothing reads a clock or an unseeded RNG.
+"""
+
+import os
+import time
+
+from repro.errors import GuestOsError, SolverError
+
+#: Exit code a kill-faulted worker dies with (distinguishable from a
+#: Python traceback exit in the supervisor's accounting).
+KILL_EXIT_CODE = 113
+
+#: Fallback sleep for hang faults that carry no explicit duration.
+DEFAULT_HANG_SECONDS = 3600.0
+
+#: Payload substituted by garbage faults that carry no explicit payload.
+DEFAULT_GARBAGE = "{\"garbage\": tru"
+
+
+def _spec_dict(fault):
+    """Accept either a FaultSpec or its dict form (specs cross process
+    boundaries as dicts)."""
+    return fault.to_dict() if hasattr(fault, "to_dict") else fault
+
+
+def apply_worker_fault(conn, fault):
+    """Apply a worker-layer fault inside a pool child.
+
+    Returns True when the fault consumed the attempt (the caller must not
+    run the real worker); kill faults never return at all.
+    """
+    fault = _spec_dict(fault)
+    if fault is None or fault.get("layer") != "worker":
+        return False
+    kind = fault["kind"]
+    params = fault.get("params", {})
+    if kind == "kill":
+        os._exit(KILL_EXIT_CODE)
+    if kind == "hang":
+        time.sleep(params.get("seconds", DEFAULT_HANG_SECONDS))
+        # A hang that outlives the supervisor's patience is killed before
+        # reaching here; if the timeout was generous, die quietly so the
+        # attempt still reads as a crash, never as a silent success.
+        os._exit(KILL_EXIT_CODE)
+    if kind == "garbage":
+        conn.send(("ok", params.get("payload", DEFAULT_GARBAGE)))
+        return True
+    raise ValueError("unknown worker fault kind %r" % (kind,))
+
+
+def maybe_raise_run_fault(fault, stage):
+    """Raise the induced run-layer exception when ``fault`` targets
+    ``stage`` (called between pipeline stages in ``execute_run``)."""
+    fault = _spec_dict(fault)
+    if fault is None or fault.get("layer") != "run":
+        return
+    params = fault.get("params", {})
+    if params.get("stage", "revnic") != stage:
+        return
+    kind = fault["kind"]
+    if kind == "guest_os_error":
+        raise GuestOsError("injected fault: guest OS failure during %s"
+                           % stage)
+    if kind == "solver_budget":
+        raise SolverError("injected fault: solver budget exhausted "
+                          "during %s" % stage)
+    raise ValueError("unknown run fault kind %r" % (kind,))
+
+
+def corrupt_store_entry(store, fault):
+    """Apply a store-layer fault to one entry of ``store``.
+
+    The target entry is ``sorted(keys)[target % len(keys)]`` -- stable
+    for a given store state.  Returns a record dict describing what was
+    done (``None`` when the store is empty and there is nothing to
+    corrupt).
+    """
+    fault = _spec_dict(fault)
+    if fault is None or fault.get("layer") != "store":
+        return None
+    keys = store.keys()
+    kind = fault["kind"]
+    params = fault.get("params", {})
+    salt = params.get("salt", 0)
+    if not keys:
+        return None
+    key = keys[fault.get("target", 0) % len(keys)]
+    path = store.path_for(key)
+    with open(path, "rb") as handle:
+        original = handle.read()
+    record = {"kind": kind, "key": key}
+
+    if kind == "truncate":
+        keep = int(len(original) * params.get("keep_fraction", 0.5))
+        with open(path, "wb") as handle:
+            handle.write(original[:keep])
+        record["kept_bytes"] = keep
+    elif kind == "bitflip":
+        if original:
+            offset = salt % len(original)
+            flipped = bytearray(original)
+            flipped[offset] ^= 1 << (salt % 8)
+            with open(path, "wb") as handle:
+                handle.write(bytes(flipped))
+            record["offset"] = offset
+    elif kind == "orphan_tmp":
+        # A writer that died after writing its temp file but before
+        # os.replace: the entry itself is intact, the orphan must be
+        # swept by ArtifactStore.recover().
+        tmp_path = os.path.join(store.root, "crash-%08x.tmp" % (salt,))
+        with open(tmp_path, "wb") as handle:
+            handle.write(original[:max(1, len(original) // 2)])
+        record["orphan"] = os.path.basename(tmp_path)
+    elif kind == "partial_publish":
+        # A publish crashed mid-flight: the temp file holds the full
+        # payload but the rename never landed, and the destination is
+        # gone (first publish of this key).  Load must miss cleanly and
+        # recovery must sweep the orphan.
+        tmp_path = os.path.join(store.root, "crash-%08x.tmp" % (salt,))
+        os.replace(path, tmp_path)
+        record["orphan"] = os.path.basename(tmp_path)
+    else:
+        raise ValueError("unknown store fault kind %r" % (kind,))
+    return record

@@ -24,12 +24,21 @@ from repro.fuzz.differential import ProgramRun
 from repro.fuzz.engine import FuzzResult
 
 #: Bump on any incompatible change to the encoding below.
-FUZZ_SCHEMA_VERSION = 1
+#: v2: added the ``resilience`` field (the campaign's ResilienceReport).
+FUZZ_SCHEMA_VERSION = 2
+
+
+def _resilience_dict(resilience):
+    if resilience is None:
+        return None
+    if hasattr(resilience, "to_dict"):
+        return resilience.to_dict()
+    return dict(resilience)
 
 
 def fuzz_to_dict(result):
     """Encode a :class:`FuzzResult` as a JSON-serializable dict (full
-    fidelity, wall clock and mode included)."""
+    fidelity, wall clock, mode and resilience included)."""
     return {
         "schema": FUZZ_SCHEMA_VERSION,
         "config": dict(result.config),
@@ -41,6 +50,7 @@ def fuzz_to_dict(result):
         "stopped": result.stopped,
         "mode": result.mode,
         "wall_seconds": result.wall_seconds,
+        "resilience": _resilience_dict(result.resilience),
     }
 
 
@@ -60,6 +70,7 @@ def fuzz_from_dict(data):
             wall_seconds=data["wall_seconds"],
             mode=data["mode"],
             stopped=data["stopped"],
+            resilience=data.get("resilience"),
         )
     except ArtifactError:
         raise
@@ -91,6 +102,10 @@ def canonical_fuzz_json(result):
     summary["wall_seconds"] = 0.0
     summary["mode"] = "scrubbed"
     data["summary"] = summary
+    # The resilience report records *how* a run survived (pool vs serial,
+    # retries, timings) -- volatile by design, so canonical equivalence
+    # scrubs it entirely.
+    data["resilience"] = None
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 

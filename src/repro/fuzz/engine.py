@@ -112,6 +112,8 @@ class FuzzResult:
     wall_seconds: float = 0.0
     mode: str = "serial"
     stopped: str = "dry"       # 'dry' | 'budget'
+    #: the campaign's ResilienceReport (or its dict when deserialized)
+    resilience: object = None
 
     def unexplained(self):
         return [run for run in self.runs if run.unexplained]
@@ -135,18 +137,22 @@ class FuzzResult:
         }
 
 
-def _fuzz_column_worker(job):
+def _fuzz_column_worker(job, fault=None):
     """Pool target: one driver's runs for one round's programs.
 
     Same discipline as the matrix column worker: the worker builds its
     own orchestrator over the shared store root, loads (or cold-computes
     and persists) the driver artifact, and returns serialized results.
+    ``fault`` is the run-layer injection hook (worker-layer faults are
+    consumed by the pool child before this function runs).
     """
     (driver, os_names, program_texts, strategy, script, store_root,
      exec_backend) = job
+    from repro.faults.inject import maybe_raise_run_fault
     from repro.pipeline.orchestrator import PipelineOrchestrator
     from repro.pipeline.store import ArtifactStore
 
+    maybe_raise_run_fault(fault, "revnic")
     store = ArtifactStore(store_root) if store_root else False
     orchestrator = PipelineOrchestrator(store=store, parallel=False)
     artifact = orchestrator.run(driver, strategy, script)
@@ -170,16 +176,26 @@ class FuzzEngine:
         self.generator = ProgramGenerator(min_steps=self.config.min_steps,
                                           max_steps=self.config.max_steps)
 
-    def run(self, parallel=None):
+    def run(self, parallel=None, faults=None):
         """Fuzz until dry (or the round budget); returns a
-        :class:`FuzzResult`."""
+        :class:`FuzzResult`.
+
+        ``faults`` maps driver name -> FaultSpec (chaos campaigns); the
+        supervised pool retries faulted columns, healthy columns keep
+        their pooled results, and unhealed columns fall back to serial
+        recomputation per driver.  The campaign-wide
+        :class:`ResilienceReport` lands on ``result.resilience``.
+        """
+        from repro.faults.report import ResilienceReport
+
         config = self.config
         started = time.monotonic()
+        report = ResilienceReport()
         if parallel is None:
             parallel = self.orchestrator.parallel \
                 and (os.cpu_count() or 1) > 1
         drivers = config.resolved_drivers()
-        result = FuzzResult(config=config.to_dict())
+        result = FuzzResult(config=config.to_dict(), resilience=report)
         mode = "serial"
         dry_streak = 0
         seed_cursor = config.base_seed
@@ -188,7 +204,7 @@ class FuzzEngine:
                                                config.programs_per_round)
             seed_cursor += config.programs_per_round
             round_runs, round_features, round_mode = self._run_round(
-                drivers, programs, parallel)
+                drivers, programs, parallel, faults, report)
             if round_mode == "parallel":
                 mode = "parallel"
             for program in programs:
@@ -219,30 +235,57 @@ class FuzzEngine:
 
     # ------------------------------------------------------------------
 
-    def _run_round(self, drivers, programs, parallel):
-        """One round's (driver x program x OS) runs; pool when possible."""
-        if parallel and len(drivers) > 1:
-            pooled = self._run_pool(drivers, programs)
-            if pooled is not None:
-                return pooled[0], pooled[1], "parallel"
+    def _run_round(self, drivers, programs, parallel, faults, report):
+        """One round's (driver x program x OS) runs; pool when possible.
+
+        Fallback is per driver column: every column the pool completed
+        is kept, and only missing columns are recomputed serially (with
+        a recorded degradation when the pool had been attempted).
+        """
+        collected = {}
+        pool_attempted = parallel and len(drivers) > 1
+        if pool_attempted:
+            with report.stage_timer("pool"):
+                collected = self._run_pool(drivers, programs, faults,
+                                           report)
+        missing = [d for d in drivers if d not in collected]
+        if missing:
+            with report.stage_timer("serial"):
+                for driver in missing:
+                    if pool_attempted:
+                        report.record_degradation(
+                            "fuzz", "per-column serial fallback",
+                            job=driver)
+                        report.record_outcome(driver, "serial-fallback")
+                    artifact = self.orchestrator.run(
+                        driver, self.config.strategy, self.config.script)
+                    column, baselines = run_program_column(
+                        artifact, self.config.os_names, programs,
+                        exec_backend=self.config.exec_backend)
+                    features = set()
+                    for observation in baselines.values():
+                        features |= observation_features(driver,
+                                                         observation)
+                    collected[driver] = (column, features)
         runs = []
         features = set()
         for driver in drivers:
-            artifact = self.orchestrator.run(driver, self.config.strategy,
-                                             self.config.script)
-            column, baselines = run_program_column(
-                artifact, self.config.os_names, programs,
-                exec_backend=self.config.exec_backend)
+            column, column_features = collected[driver]
             runs.extend(column)
-            for observation in baselines.values():
-                features |= observation_features(driver, observation)
-        return runs, features, "serial"
+            features.update(column_features)
+        mode = "parallel" if pool_attempted and len(missing) < len(drivers) \
+            else "serial"
+        return runs, features, mode
 
-    def _run_pool(self, drivers, programs):
-        """Fan driver columns out across spawn workers; ``None`` on any
-        pool-level failure (the caller falls back to serial)."""
-        import concurrent.futures
-        import multiprocessing
+    def _run_pool(self, drivers, programs, faults, report):
+        """Fan driver columns out across the supervised spawn pool.
+
+        Returns ``{driver: (runs, features)}`` for every column that
+        completed (possibly after retries); an empty dict means the pool
+        was unavailable.  Columns the pool could not heal are left to
+        the caller's per-column serial fallback.
+        """
+        from repro.pipeline.pool import PoolUnavailable, run_supervised
 
         store = self.orchestrator.store
         store_root = store.root if store is not None else None
@@ -250,31 +293,35 @@ class FuzzEngine:
         jobs = [(driver, tuple(self.config.os_names), program_texts,
                  self.config.strategy, self.config.script, store_root,
                  self.config.exec_backend) for driver in drivers]
-        collected = {}
+        fault_map = {}
+        if faults:
+            for index, driver in enumerate(drivers):
+                spec = faults.get(driver)
+                if spec is not None and spec.layer in ("worker", "run"):
+                    fault_map[index] = spec
+
+        def _validate(payload):
+            driver, encoded, features = payload
+            return driver, ([ProgramRun.from_dict(r) for r in encoded],
+                            set(features))
+
         try:
-            context = multiprocessing.get_context("spawn")
-            workers = self.orchestrator.max_workers \
-                or min(len(jobs), os.cpu_count() or 1)
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers, mp_context=context) as pool:
-                for driver, encoded, features in pool.map(
-                        _fuzz_column_worker, jobs):
-                    collected[driver] = (encoded, features)
-        except Exception:
-            return None
-        if set(collected) != set(drivers):
-            return None
-        runs = []
-        features = set()
-        for driver in drivers:
-            encoded, column_features = collected[driver]
-            runs.extend(ProgramRun.from_dict(r) for r in encoded)
-            features.update(column_features)
-        return runs, features
+            results, _failures = run_supervised(
+                jobs, _fuzz_column_worker, labels=list(drivers),
+                max_workers=self.orchestrator.max_workers,
+                timeout=self.orchestrator.job_timeout,
+                retries=self.orchestrator.retries, faults=fault_map,
+                validate=_validate, report=report)
+        except PoolUnavailable as exc:
+            report.record_degradation("pool",
+                                      "pool unavailable: %s" % exc)
+            return {}
+        return {driver: column for driver, column in results.values()}
 
 
-def run_fuzz(orchestrator=None, parallel=None, **config_kwargs):
+def run_fuzz(orchestrator=None, parallel=None, faults=None,
+             **config_kwargs):
     """One-call entry point: build and run a fuzz campaign."""
     config = FuzzConfig(**config_kwargs)
     return FuzzEngine(orchestrator=orchestrator, config=config) \
-        .run(parallel=parallel)
+        .run(parallel=parallel, faults=faults)

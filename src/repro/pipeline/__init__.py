@@ -10,9 +10,12 @@ synthesis per driver -- hands a compact, serializable
   artifacts (shared translation blocks and expression DAGs interned into
   tables; canonical byte-deterministic encoding);
 * :mod:`repro.pipeline.store` -- the content-addressed on-disk cache
-  (keyed by driver image, config, schema and a source-tree fingerprint);
-* :mod:`repro.pipeline.orchestrator` -- the process-pool fan-out that
-  computes cold artifacts in isolated workers.
+  (keyed by driver image, config, schema and a source-tree fingerprint;
+  checksummed entries, quarantine, crash-consistent publish, GC);
+* :mod:`repro.pipeline.pool` -- the supervised spawn-process fan-out
+  (per-job timeout, bounded retry, classified failure accounting);
+* :mod:`repro.pipeline.orchestrator` -- the orchestration layer that
+  computes cold artifacts in isolated supervised workers.
 """
 
 from repro.pipeline.artifact import (
@@ -29,6 +32,7 @@ from repro.pipeline.orchestrator import (
     execute_run,
     get_orchestrator,
 )
+from repro.pipeline.pool import PoolUnavailable, run_supervised
 from repro.pipeline.store import (
     ArtifactStore,
     artifact_key,
@@ -51,4 +55,6 @@ __all__ = [
     "artifact_key",
     "code_fingerprint",
     "default_store",
+    "PoolUnavailable",
+    "run_supervised",
 ]

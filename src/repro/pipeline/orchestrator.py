@@ -10,16 +10,28 @@ instead of the sum of all four -- and with a warm on-disk cache, almost
 nothing.
 
 Lookup order per run: in-memory (this orchestrator) -> on-disk store
-(content-addressed, survives the process) -> compute (in a worker during
-:meth:`PipelineOrchestrator.warm`, inline otherwise).  Because runs are
-deterministic (interned expressions, seeded solver -- see DESIGN.md),
-all three paths produce byte-identical canonical artifacts; tests assert
-this.
+(content-addressed, survives the process) -> compute (in a supervised
+worker during :meth:`PipelineOrchestrator.warm`, inline otherwise).
+Because runs are deterministic (interned expressions, seeded solver --
+see DESIGN.md), all three paths produce byte-identical canonical
+artifacts; tests assert this.
+
+Fan-out rides :func:`repro.pipeline.pool.run_supervised`: per-job
+timeout, bounded retry with deterministic backoff, and **per-job** serial
+fallback -- one crashed, hung or garbage-returning worker costs retries
+of that job only, never a serial recompute of healthy jobs, and every
+completed artifact is persisted before any fallback decision.  Each
+:meth:`warm` records how it survived in a
+:class:`~repro.faults.report.ResilienceReport`
+(:attr:`last_resilience`); a job that cannot be healed raises its
+classified error after recording a replayable
+:class:`~repro.faults.report.FaultRecord`.
 """
 
 import os
 import time
 
+from repro.errors import ReproError
 from repro.pipeline.artifact import build_artifact, from_json, to_json
 from repro.pipeline.store import ArtifactStore, artifact_key, default_store
 
@@ -37,43 +49,56 @@ def build_config(name, strategy="coverage", script="default"):
 
 
 def execute_run(name, strategy="coverage", script="default",
-                source="computed"):
+                source="computed", fault=None):
     """Run the full pipeline for one driver in this process.
 
     Pure producer: builds the driver image, runs RevNIC under ``config``,
     synthesizes from the captured result, and returns the
     :class:`RunArtifact` -- no singletons, no shared state, safe to call
-    from any worker process.
+    from any worker process.  ``fault`` is the run-layer fault-injection
+    hook (:mod:`repro.faults`): a matching spec raises its induced,
+    classified exception at the requested stage.
     """
     from repro.drivers import build_driver
     from repro.revnic import RevNic
     from repro.synth import synthesize
 
+    if fault is not None:
+        from repro.faults.inject import maybe_raise_run_fault
     image = build_driver(name)
     config = build_config(name, strategy, script)
     engine = RevNic(image, config)
+    if fault is not None:
+        maybe_raise_run_fault(fault, "revnic")
     result = engine.run()
+    if fault is not None:
+        maybe_raise_run_fault(fault, "synthesize")
     synthesized = synthesize(result)
     return build_artifact(config, result, synthesized, source=source)
 
 
-def _worker(job):
-    """Pool target: compute one artifact, return its serialized form.
+def _worker(job, fault=None):
+    """Supervised-pool target: compute one artifact, return its
+    serialized form.
 
     Runs in a spawned interpreter; the JSON produced here is byte-for-byte
     what the parent would produce in-process (determinism tests hold the
-    pipeline to that).
+    pipeline to that).  Worker-layer faults never reach this function
+    (the pool child consumes them); run-layer faults pass through to
+    :func:`execute_run`.
     """
     name, strategy, script = job
-    artifact = execute_run(name, strategy, script, source="worker")
-    return job, to_json(artifact)
+    artifact = execute_run(name, strategy, script, source="worker",
+                           fault=fault)
+    return to_json(artifact)
 
 
 class PipelineOrchestrator:
     """Runs driver pipelines at most once, fanning cold runs out across
-    processes and persisting artifacts in the on-disk store."""
+    supervised processes and persisting artifacts in the on-disk store."""
 
-    def __init__(self, store=None, max_workers=None, parallel=None):
+    def __init__(self, store=None, max_workers=None, parallel=None,
+                 job_timeout=None, retries=None):
         self._artifacts = {}
         #: ``store=False`` disables disk caching; ``None`` uses the
         #: default store (which the REVNIC_ARTIFACT_CACHE env controls).
@@ -82,9 +107,15 @@ class PipelineOrchestrator:
         if parallel is None:
             parallel = os.environ.get(PARALLEL_ENV, "1") != "0"
         self.parallel = parallel
+        #: per-job supervision budgets; ``None`` defers to the
+        #: REVNIC_JOB_TIMEOUT / REVNIC_JOB_RETRIES env defaults.
+        self.job_timeout = job_timeout
+        self.retries = retries
         #: wall-clock of the last :meth:`warm` fan-out, and how it ran
         self.last_warm_seconds = None
         self.last_warm_mode = None
+        #: the :class:`ResilienceReport` of the last :meth:`warm`
+        self.last_resilience = None
 
     # ------------------------------------------------------------------
 
@@ -101,28 +132,41 @@ class PipelineOrchestrator:
         return artifact
 
     def warm(self, names=None, strategy="coverage", script="default",
-             parallel=None):
+             parallel=None, faults=None):
         """Materialize artifacts for ``names`` (default: all drivers),
-        computing the missing ones in parallel workers.
+        computing the missing ones in supervised parallel workers.
 
         Returns ``{name: RunArtifact}``; :attr:`last_warm_seconds` /
         :attr:`last_warm_mode` record how the fan-out ran (for the
-        benchmark report).
+        benchmark report) and :attr:`last_resilience` records what it
+        survived.  ``faults`` maps driver name -> FaultSpec for chaos
+        campaigns.  A job that fails even its serial fallback raises the
+        classified error -- after recording a replayable fault record and
+        with every healthy artifact already persisted.
         """
         from repro.drivers import DRIVERS
+        from repro.faults.report import FaultRecord, ResilienceReport
 
         names = sorted(DRIVERS) if names is None else list(names)
+        report = ResilienceReport()
+        self.last_resilience = report
+        store_before = self.store.counters() if self.store else None
         started = time.monotonic()
+        if self.store is not None:
+            # Sweep publishes crashed mid-os.replace before we fan out
+            # new writers over the same root.
+            self.store.recover()
         missing = []
-        for name in names:
-            key = (name, strategy, script)
-            if key in self._artifacts:
-                continue
-            artifact = self._load_cached(*key)
-            if artifact is not None:
-                self._artifacts[key] = artifact
-            else:
-                missing.append(key)
+        with report.stage_timer("load"):
+            for name in names:
+                key = (name, strategy, script)
+                if key in self._artifacts:
+                    continue
+                artifact = self._load_cached(*key)
+                if artifact is not None:
+                    self._artifacts[key] = artifact
+                else:
+                    missing.append(key)
 
         if parallel is None:
             # Fanning out only pays when there is real parallelism:
@@ -131,16 +175,29 @@ class PipelineOrchestrator:
         mode = "cached"
         if missing:
             mode = "serial"
-            if parallel and len(missing) > 1:
-                mode = "parallel" if self._run_pool(missing) else "serial"
-            if mode == "serial":
-                for key in missing:
-                    if key not in self._artifacts:
-                        artifact = execute_run(*key)
-                        self._store_artifact(key, artifact)
-                        self._artifacts[key] = artifact
+            pooled = set()
+            pool_attempted = parallel and len(missing) > 1
+            if pool_attempted:
+                with report.stage_timer("pool"):
+                    pooled = self._run_pool(missing, faults=faults,
+                                            report=report)
+                if pooled:
+                    mode = "parallel"
+            leftovers = [key for key in missing
+                         if key not in self._artifacts]
+            if leftovers:
+                with report.stage_timer("serial"):
+                    self._run_serial(leftovers, faults, report,
+                                     degraded=pool_attempted)
         self.last_warm_seconds = time.monotonic() - started
         self.last_warm_mode = mode
+        if store_before is not None:
+            after = self.store.counters()
+            report.quarantined += after["quarantined"] \
+                - store_before["quarantined"]
+            report.recovered_tmp += after["recovered"] \
+                - store_before["recovered"]
+            report.evicted += after["evicted"] - store_before["evicted"]
         return {name: self._artifacts[(name, strategy, script)]
                 for name in names}
 
@@ -150,33 +207,91 @@ class PipelineOrchestrator:
 
     # ------------------------------------------------------------------
 
-    def _run_pool(self, jobs):
-        """Fan ``jobs`` out over a spawn-context process pool.
+    def _run_pool(self, jobs, faults=None, report=None):
+        """Fan ``jobs`` out over the supervised spawn pool.
 
-        Returns True when every job came back; any pool-level failure
-        (restricted environments without working semaphores, worker
-        crashes) leaves completed artifacts in place and reports False so
-        the caller falls back to serial execution for the rest.
+        Persists and caches every artifact the pool completes -- as each
+        job finishes, independently of any other job's fate -- and
+        returns the set of completed job keys.  Jobs the pool could not
+        heal (and pool-level unavailability) are left to the caller's
+        per-job serial fallback.
         """
-        import concurrent.futures
-        import multiprocessing
+        from repro.pipeline import pool as _pool
+
+        fault_map = {}
+        if faults:
+            for index, job in enumerate(jobs):
+                spec = faults.get(job[0])
+                if spec is not None and spec.layer in ("worker", "run"):
+                    fault_map[index] = spec
+
+        def _validate(payload):
+            # Persist the worker's bytes as-is: re-encoding in the parent
+            # would force the (lazy) trace decode and produce identical
+            # JSON anyway.
+            return payload, from_json(payload, source="worker")
 
         try:
-            context = multiprocessing.get_context("spawn")
-            workers = self.max_workers or min(len(jobs),
-                                              os.cpu_count() or 1)
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers, mp_context=context) as pool:
-                for job, text in pool.map(_worker, jobs):
-                    # Persist the worker's bytes as-is: re-encoding in
-                    # the parent would force the (lazy) trace decode and
-                    # produce the identical JSON anyway.
-                    if self.store is not None:
-                        self.store.save_json(self._disk_key(*job), text)
-                    self._artifacts[job] = from_json(text, source="worker")
-        except Exception:
-            return False
-        return all(job in self._artifacts for job in jobs)
+            results, _failures = _pool.run_supervised(
+                jobs, _worker, labels=[job[0] for job in jobs],
+                max_workers=self.max_workers, timeout=self.job_timeout,
+                retries=self.retries, faults=fault_map,
+                validate=_validate, report=report)
+        except _pool.PoolUnavailable as exc:
+            if report is not None:
+                report.record_degradation(
+                    "pool", "pool unavailable: %s" % exc)
+            return set()
+        completed = set()
+        for index, (text, artifact) in sorted(results.items()):
+            job = jobs[index]
+            if self.store is not None:
+                self.store.save_json(self._disk_key(*job), text)
+            self._artifacts[job] = artifact
+            completed.add(job)
+        return completed
+
+    def _run_serial(self, jobs, faults, report, degraded):
+        """Per-job serial fallback (or plain serial warm-up).
+
+        A job that fails here has exhausted every healing layer: record a
+        classified, replayable :class:`FaultRecord` and re-raise --
+        loudly -- leaving all other artifacts computed and persisted.
+        """
+        from repro.faults.report import FaultRecord
+
+        for key in jobs:
+            name = key[0]
+            if degraded:
+                report.record_degradation("warm",
+                                          "per-job serial fallback",
+                                          job=name)
+            spec = (faults or {}).get(name)
+            attempt = report.jobs.get(name, {}).get("attempts", 0) + 1
+            run_fault = None
+            if spec is not None and spec.layer == "run" \
+                    and spec.fires_on(attempt):
+                run_fault = spec
+            try:
+                artifact = execute_run(*key, fault=run_fault)
+            except ReproError as exc:
+                report.record_attempt(name, attempt,
+                                      event="serial: %s: %s"
+                                      % (type(exc).__name__, exc))
+                report.record_outcome(name, "failed")
+                report.record_fault(FaultRecord(
+                    layer="run" if run_fault is not None else "serial",
+                    kind=type(exc).__name__, job=name, error=str(exc),
+                    seed=getattr(spec, "params", {}).get("seed")
+                    if spec is not None else None,
+                    attempts=attempt))
+                raise
+            self._store_artifact(key, artifact)
+            self._artifacts[key] = artifact
+            report.record_attempt(name, attempt)
+            report.record_outcome(name,
+                                  "serial-fallback" if degraded
+                                  else "serial")
 
     def _load_cached(self, name, strategy, script):
         if self.store is None:

@@ -1,0 +1,274 @@
+"""Supervised spawn-process fan-out.
+
+``pool.map`` over a :class:`ProcessPoolExecutor` has exactly the failure
+modes RevNIC's own drivers are hardened against: one crashed worker
+abandons the whole pool, one hung worker blocks ``map`` forever, and a
+garbage result propagates as a parse error far from its cause.  This
+module replaces it with an explicit supervisor: every job runs in its own
+spawned process with a private pipe, gets a **per-job timeout**, a
+**bounded retry budget with deterministic backoff**, and classified
+failure accounting in a :class:`~repro.faults.report.ResilienceReport`.
+Jobs that exhaust the budget are returned to the caller for **per-job**
+serial fallback -- a single bad job never forces healthy jobs to
+recompute.
+
+The supervisor is also the worker-layer fault-injection point: a
+:class:`~repro.faults.plan.FaultSpec` mapped to a job index is delivered
+to the child, which kills itself, hangs, or substitutes garbage -- the
+exact hostile behaviors the retry/timeout/validation path must absorb.
+"""
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+
+#: Environment variable: per-job wall-clock budget in seconds.
+TIMEOUT_ENV = "REVNIC_JOB_TIMEOUT"
+DEFAULT_TIMEOUT = 300.0
+
+#: Environment variable: retry budget (re-launches after the first try).
+RETRIES_ENV = "REVNIC_JOB_RETRIES"
+DEFAULT_RETRIES = 2
+
+#: Deterministic backoff before re-launching attempt N+1 after attempt N
+#: failed: BASE * 2**(N-1), capped.  No jitter -- chaos replay depends on
+#: the schedule being a pure function of the fault plan.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 1.0
+
+_POLL_SECONDS = 0.05
+
+
+class PoolUnavailable(Exception):
+    """Process/pipe machinery could not start at all (restricted
+    environments); callers degrade to serial execution."""
+
+
+def backoff_delay(attempt):
+    """Seconds to wait before re-launching after 1-based ``attempt``."""
+    return min(BACKOFF_BASE * (2 ** (attempt - 1)), BACKOFF_CAP)
+
+
+def default_timeout():
+    value = os.environ.get(TIMEOUT_ENV)
+    if value:
+        try:
+            parsed = float(value)
+            return parsed if parsed > 0 else None
+        except ValueError:
+            pass
+    return DEFAULT_TIMEOUT
+
+
+def default_retries():
+    value = os.environ.get(RETRIES_ENV)
+    if value:
+        try:
+            return max(0, int(value))
+        except ValueError:
+            pass
+    return DEFAULT_RETRIES
+
+
+def _child_main(conn, worker, job, fault):
+    """Process target: apply any worker-layer fault, run the worker, send
+    one ``("ok", payload)`` or ``("error", info)`` message, exit."""
+    try:
+        if fault is not None:
+            from repro.faults.inject import apply_worker_fault
+
+            if apply_worker_fault(conn, fault):
+                return      # fault consumed the attempt (garbage sent)
+        payload = worker(job, fault)
+        conn.send(("ok", payload))
+    except BaseException as exc:
+        try:
+            conn.send(("error", {"type": type(exc).__name__,
+                                 "message": str(exc)}))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class _Active:
+    __slots__ = ("index", "attempt", "process", "conn", "deadline")
+
+    def __init__(self, index, attempt, process, conn, deadline):
+        self.index = index
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+
+
+def run_supervised(jobs, worker, labels=None, max_workers=None,
+                   timeout=None, retries=None, faults=None, validate=None,
+                   report=None):
+    """Run ``worker(job, fault)`` for every job in supervised processes.
+
+    ``validate`` (payload -> value, raising on garbage) gates every
+    result; ``faults`` maps job index -> :class:`FaultSpec` for
+    injection.  Returns ``(results, failures)``: ``results`` maps job
+    index to the validated value, ``failures`` maps indices that
+    exhausted the retry budget to a classification string -- the caller
+    owns their per-job serial fallback.  Raises :class:`PoolUnavailable`
+    when processes cannot be spawned at all.
+    """
+    from repro.faults.report import ResilienceReport
+
+    if report is None:
+        report = ResilienceReport()
+    labels = list(labels) if labels else [str(i) for i in range(len(jobs))]
+    timeout = default_timeout() if timeout is None else (timeout or None)
+    retries = default_retries() if retries is None else retries
+    faults = faults or {}
+    max_attempts = retries + 1
+
+    try:
+        context = multiprocessing.get_context("spawn")
+    except ValueError as exc:
+        raise PoolUnavailable(str(exc))
+    slots = max_workers or min(len(jobs), os.cpu_count() or 1)
+    slots = max(1, slots)
+
+    results = {}
+    failures = {}
+    #: (index, attempt, not_before) -- retries wait out their backoff
+    pending = [(i, 1, 0.0) for i in range(len(jobs))]
+    active = {}
+    spawned_any = False
+
+    def launch(index, attempt):
+        nonlocal spawned_any
+        fault = None
+        spec = faults.get(index)
+        if spec is not None and spec.fires_on(attempt):
+            fault = spec.to_dict()
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_child_main, args=(child_conn, worker, jobs[index],
+                                      fault),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        spawned_any = True
+        deadline = (time.monotonic() + timeout) if timeout else None
+        active[index] = _Active(index, attempt, process, parent_conn,
+                                deadline)
+
+    def reap(entry):
+        try:
+            entry.conn.close()
+        except Exception:
+            pass
+        entry.process.join(timeout=5)
+        if entry.process.is_alive():
+            entry.process.kill()
+            entry.process.join(timeout=5)
+
+    def fail_attempt(entry, kind, detail):
+        label = labels[entry.index]
+        report.record_attempt(label, entry.attempt,
+                              event="%s (attempt %d): %s"
+                              % (kind, entry.attempt, detail))
+        if entry.attempt < max_attempts:
+            pending.append((entry.index, entry.attempt + 1,
+                            time.monotonic()
+                            + backoff_delay(entry.attempt)))
+        else:
+            failures[entry.index] = kind
+            report.record_outcome(label, "pool-failed:%s" % kind)
+
+    def succeed(entry, value):
+        label = labels[entry.index]
+        results[entry.index] = value
+        report.record_attempt(label, entry.attempt)
+        report.record_outcome(label, "pool")
+
+    try:
+        while pending or active:
+            # Fill free slots with launchable work (backoff respected).
+            now = time.monotonic()
+            deferred = []
+            while pending and len(active) < slots:
+                index, attempt, not_before = pending.pop(0)
+                if not_before > now:
+                    deferred.append((index, attempt, not_before))
+                    continue
+                try:
+                    launch(index, attempt)
+                except Exception as exc:
+                    if not spawned_any:
+                        raise PoolUnavailable(str(exc))
+                    fail_attempt(_Active(index, attempt, None, None, None),
+                                 "spawn", str(exc))
+            pending.extend(deferred)
+
+            if not active:
+                if pending:
+                    next_ready = min(entry[2] for entry in pending)
+                    time.sleep(max(0.0, min(next_ready
+                                            - time.monotonic(),
+                                            BACKOFF_CAP)))
+                continue
+
+            multiprocessing.connection.wait(
+                [entry.conn for entry in active.values()],
+                timeout=_POLL_SECONDS)
+            now = time.monotonic()
+            for entry in list(active.values()):
+                message = None
+                received = False
+                if entry.conn.poll():
+                    try:
+                        message = entry.conn.recv()
+                        received = True
+                    except (EOFError, OSError):
+                        received = False
+                    del active[entry.index]
+                    reap(entry)
+                    if not received:
+                        report.worker_crashes += 1
+                        fail_attempt(entry, "crash",
+                                     "worker closed pipe without result")
+                        continue
+                    kind, payload = message
+                    if kind == "error":
+                        report.run_faults += 1
+                        fail_attempt(entry, "error", "%s: %s"
+                                     % (payload.get("type"),
+                                        payload.get("message")))
+                        continue
+                    try:
+                        value = validate(payload) if validate else payload
+                    except Exception as exc:
+                        report.garbage_results += 1
+                        fail_attempt(entry, "garbage", str(exc))
+                        continue
+                    succeed(entry, value)
+                elif not entry.process.is_alive():
+                    del active[entry.index]
+                    reap(entry)
+                    report.worker_crashes += 1
+                    fail_attempt(entry, "crash", "worker died (exit %r)"
+                                 % (entry.process.exitcode,))
+                elif entry.deadline is not None and now > entry.deadline:
+                    del active[entry.index]
+                    entry.process.kill()
+                    reap(entry)
+                    report.timeouts += 1
+                    fail_attempt(entry, "timeout",
+                                 "exceeded %.1fs job budget" % timeout)
+    finally:
+        for entry in active.values():
+            try:
+                entry.process.kill()
+            except Exception:
+                pass
+            reap(entry)
+    return results, failures

@@ -20,10 +20,14 @@ Cell semantics:
 
 Each cell also carries its *expectation*; an **unexplained** divergence is
 any behavioral mismatch, or an unsupported result where equivalence was
-expected.  The matrix fans out across the same spawn-context process pool
-as the pipeline orchestrator -- one worker per driver column, each loading
-(or, cold, computing and storing) its artifact from the shared on-disk
-store -- with the usual serial in-process fallback.
+expected.  The matrix fans out across the same supervised spawn pool as
+the pipeline orchestrator (:func:`repro.pipeline.pool.run_supervised`:
+per-job timeout, bounded retry, classified failures) -- one worker per
+driver column, each loading (or, cold, computing and storing) its
+artifact from the shared on-disk store -- with **per-column** serial
+fallback: one misbehaving column never forces healthy columns to
+recompute.  Every run records how it survived in
+:attr:`MatrixResult.resilience`.
 """
 
 import os
@@ -141,6 +145,8 @@ class MatrixResult:
     scenario_names: list
     wall_seconds: float = 0.0
     mode: str = "serial"      # 'parallel' | 'serial'
+    #: :class:`~repro.faults.report.ResilienceReport` of this run
+    resilience: object = None
 
     def cell(self, driver, os_name):
         return self.cells[(driver, os_name)]
@@ -213,8 +219,8 @@ def compute_column(artifact, os_names, scenario_names, exec_backend=None):
     return cells
 
 
-def _column_worker(job):
-    """Pool target: one driver's whole matrix column.
+def _column_worker(job, fault=None):
+    """Supervised-pool target: one driver's whole matrix column.
 
     The worker builds its own orchestrator over the shared store root:
     warm runs load the artifact in milliseconds, cold runs compute it here
@@ -222,9 +228,11 @@ def _column_worker(job):
     """
     (driver, os_names, scenario_names, strategy, script, store_root,
      exec_backend) = job
+    from repro.faults.inject import maybe_raise_run_fault
     from repro.pipeline.orchestrator import PipelineOrchestrator
     from repro.pipeline.store import ArtifactStore
 
+    maybe_raise_run_fault(fault, "revnic")
     store = ArtifactStore(store_root) if store_root else False
     orchestrator = PipelineOrchestrator(store=store, parallel=False)
     artifact = orchestrator.run(driver, strategy, script)
@@ -252,25 +260,44 @@ class ValidationMatrix:
         #: compiled everywhere; "interp"/"step" for the ablation)
         self.exec_backend = exec_backend
 
-    def run(self, parallel=None):
-        """Compute the full matrix; returns a :class:`MatrixResult`."""
+    def run(self, parallel=None, faults=None):
+        """Compute the full matrix; returns a :class:`MatrixResult`.
+
+        ``faults`` maps driver name -> FaultSpec (chaos campaigns); the
+        supervised pool retries faulted columns and any column it cannot
+        heal falls back to serial recomputation -- per column, with every
+        healthy column's pooled result kept.
+        """
+        from repro.faults.report import ResilienceReport
+
         started = time.monotonic()
+        report = ResilienceReport()
         if parallel is None:
             parallel = self.orchestrator.parallel \
                 and (os.cpu_count() or 1) > 1
-        columns = None
+        columns = {}
         mode = "serial"
         if parallel and len(self.drivers) > 1:
-            columns = self._run_pool()
-            if columns is not None:
+            with report.stage_timer("pool"):
+                columns = self._run_pool(faults, report)
+            if columns:
                 mode = "parallel"
-        if columns is None:
-            artifacts = self.orchestrator.warm(self.drivers, self.strategy,
-                                               self.script)
-            columns = {name: compute_column(artifacts[name], self.os_names,
-                                            self.scenario_names,
-                                            exec_backend=self.exec_backend)
-                       for name in self.drivers}
+        missing = [d for d in self.drivers if d not in columns]
+        if missing:
+            with report.stage_timer("serial"):
+                artifacts = self.orchestrator.warm(missing, self.strategy,
+                                                   self.script,
+                                                   parallel=False)
+                for name in missing:
+                    if mode == "parallel":
+                        report.record_degradation(
+                            "matrix", "per-column serial fallback",
+                            job=name)
+                        report.record_outcome(name, "serial-fallback")
+                    columns[name] = compute_column(
+                        artifacts[name], self.os_names,
+                        self.scenario_names,
+                        exec_backend=self.exec_backend)
         cells = {}
         for driver in self.drivers:
             for cell in columns[driver]:
@@ -279,34 +306,46 @@ class ValidationMatrix:
                             os_names=list(self.os_names),
                             scenario_names=list(self.scenario_names),
                             wall_seconds=time.monotonic() - started,
-                            mode=mode)
+                            mode=mode, resilience=report)
 
-    def _run_pool(self):
-        """Fan driver columns out across spawn workers; ``None`` on any
-        pool-level failure (the caller falls back to serial)."""
-        import concurrent.futures
-        import multiprocessing
+    def _run_pool(self, faults, report):
+        """Fan driver columns out across the supervised spawn pool.
+
+        Returns the columns that completed (possibly after retries) --
+        never discarding healthy columns because another column failed.
+        An empty dict means the pool was unavailable.
+        """
+        from repro.pipeline.pool import PoolUnavailable, run_supervised
 
         store = self.orchestrator.store
         store_root = store.root if store is not None else None
         jobs = [(driver, tuple(self.os_names), tuple(self.scenario_names),
                  self.strategy, self.script, store_root, self.exec_backend)
                 for driver in self.drivers]
-        columns = {}
+        fault_map = {}
+        if faults:
+            for index, driver in enumerate(self.drivers):
+                spec = faults.get(driver)
+                if spec is not None and spec.layer in ("worker", "run"):
+                    fault_map[index] = spec
+
+        def _validate(payload):
+            driver, encoded = payload
+            return driver, [CellResult.from_dict(c) for c in encoded]
+
         try:
-            context = multiprocessing.get_context("spawn")
-            workers = self.orchestrator.max_workers \
-                or min(len(jobs), os.cpu_count() or 1)
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers, mp_context=context) as pool:
-                for driver, encoded in pool.map(_column_worker, jobs):
-                    columns[driver] = [CellResult.from_dict(c)
-                                       for c in encoded]
-        except Exception:
-            return None
-        if set(columns) != set(self.drivers):
-            return None
-        return columns
+            results, _failures = run_supervised(
+                jobs, _column_worker, labels=list(self.drivers),
+                max_workers=self.orchestrator.max_workers,
+                timeout=self.orchestrator.job_timeout,
+                retries=self.orchestrator.retries, faults=fault_map,
+                validate=_validate, report=report)
+        except PoolUnavailable as exc:
+            report.record_degradation("pool",
+                                      "pool unavailable: %s" % exc)
+            return {}
+        return {driver: column
+                for driver, column in results.values()}
 
 
 def run_matrix(orchestrator=None, parallel=None, **kwargs):

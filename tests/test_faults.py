@@ -1,0 +1,309 @@
+"""The fault-injection plane: plans, supervised pool, chaos invariant.
+
+Three layers under test.  The *plan* layer must be a pure function of
+its seed (same discipline as the fuzz program generator: the plan JSON is
+the replay key).  The *pool* layer must absorb exactly the hostile
+behaviors the plans describe -- killed, hung and garbage-spewing workers
+-- through retry, timeout and validation, without ever discarding a
+healthy job's result.  And the *campaign* layer must hold the robustness
+invariant end to end: every fault schedule ends byte-identical to the
+fault-free baseline or fails loudly with a classified, replayable fault
+record.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import GuestOsError, ReproError, SolverError
+from repro.faults import (FaultPlan, FaultPlanGenerator, FaultRecord,
+                          FaultSpec, ResilienceReport)
+from repro.faults.campaign import ChaosCampaign
+from repro.faults.inject import maybe_raise_run_fault
+from repro.faults.plan import PERSISTENT
+from repro.pipeline.pool import (backoff_delay, default_retries,
+                                 default_timeout, run_supervised)
+
+# -- toy workers (top-level: spawn children must import them) -----------
+
+def _double_worker(job, fault=None):
+    name, value = job
+    if name == "boom":
+        raise ValueError("kapow")
+    return json.dumps({"name": name, "value": value * 2})
+
+
+def _validate_json(payload):
+    return json.loads(payload)
+
+
+# ----------------------------------------------------------------------
+
+class TestFaultPlans:
+    def test_same_seed_same_bytes(self):
+        first = FaultPlanGenerator().plan(1234)
+        second = FaultPlanGenerator().plan(1234)
+        assert first.to_json() == second.to_json()
+        assert FaultPlanGenerator().plan(1235).to_json() \
+            != first.to_json()
+
+    def test_plans_sequence_is_deterministic(self):
+        generator = FaultPlanGenerator(max_faults=2)
+        batch = generator.plans(7, 5)
+        assert [plan.seed for plan in batch] == [7, 8, 9, 10, 11]
+        again = FaultPlanGenerator(max_faults=2).plans(7, 5)
+        assert [p.to_json() for p in batch] \
+            == [p.to_json() for p in again]
+
+    def test_round_trip(self):
+        plan = FaultPlanGenerator().plan(99)
+        assert FaultPlan.from_json(plan.to_json()).to_json() \
+            == plan.to_json()
+
+    def test_layer_filter(self):
+        plan = FaultPlan(seed=0, faults=(
+            FaultSpec(layer="worker", kind="kill"),
+            FaultSpec(layer="store", kind="truncate"),
+            FaultSpec(layer="run", kind="solver_budget"),
+        ))
+        assert [f.kind for f in plan.layer("store")] == ["truncate"]
+        assert len(plan.layer("worker")) == 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(layer="disk", kind="truncate")
+        with pytest.raises(ValueError):
+            FaultSpec(layer="worker", kind="truncate")
+
+    def test_fires_on_attempts(self):
+        transient = FaultSpec(layer="worker", kind="kill", attempts=2)
+        assert transient.fires_on(1) and transient.fires_on(2)
+        assert not transient.fires_on(3)
+        persistent = FaultSpec(layer="run", kind="guest_os_error",
+                               attempts=PERSISTENT)
+        assert persistent.fires_on(50)
+
+    def test_worker_faults_always_transient(self):
+        # the generator never makes a worker fault the retry budget
+        # cannot heal -- persistence is reserved for run faults
+        generator = FaultPlanGenerator(max_faults=3)
+        for seed in range(60):
+            for spec in generator.plan(seed).faults:
+                if spec.layer == "worker":
+                    assert spec.attempts <= 2
+
+
+class TestRunFaultInjection:
+    def test_guest_os_error_at_matching_stage(self):
+        spec = FaultSpec(layer="run", kind="guest_os_error",
+                         params={"stage": "revnic"})
+        with pytest.raises(GuestOsError):
+            maybe_raise_run_fault(spec, "revnic")
+        maybe_raise_run_fault(spec, "synthesize")   # no-op: wrong stage
+
+    def test_solver_budget(self):
+        spec = FaultSpec(layer="run", kind="solver_budget")
+        with pytest.raises(SolverError):
+            maybe_raise_run_fault(spec, "revnic")
+
+    def test_dict_form_crosses_process_boundary(self):
+        spec = FaultSpec(layer="run", kind="guest_os_error")
+        with pytest.raises(GuestOsError):
+            maybe_raise_run_fault(spec.to_dict(), "revnic")
+
+    def test_non_run_layers_never_raise(self):
+        maybe_raise_run_fault(FaultSpec(layer="worker", kind="kill"),
+                              "revnic")
+        maybe_raise_run_fault(None, "revnic")
+
+
+class TestSupervisedPool:
+    JOBS = [("a", 1), ("b", 2), ("c", 3)]
+    LABELS = ["a", "b", "c"]
+
+    def run(self, jobs=None, labels=None, **kwargs):
+        report = ResilienceReport()
+        kwargs.setdefault("timeout", 60)
+        kwargs.setdefault("retries", 2)
+        kwargs.setdefault("max_workers", 2)
+        results, failures = run_supervised(
+            jobs or self.JOBS, _double_worker,
+            labels=labels or self.LABELS, validate=_validate_json,
+            report=report, **kwargs)
+        return results, failures, report
+
+    def test_plain_run_completes_everything(self):
+        results, failures, report = self.run()
+        assert sorted(results) == [0, 1, 2] and not failures
+        assert results[1] == {"name": "b", "value": 4}
+        assert all(entry["outcome"] == "pool"
+                   for entry in report.jobs.values())
+
+    def test_kill_fault_healed_by_retry(self):
+        results, failures, report = self.run(
+            faults={0: FaultSpec(layer="worker", kind="kill")})
+        assert sorted(results) == [0, 1, 2] and not failures
+        assert report.worker_crashes == 1 and report.retries == 1
+        assert report.jobs["a"]["attempts"] == 2
+
+    def test_hang_fault_killed_by_timeout(self):
+        results, failures, report = self.run(
+            faults={1: FaultSpec(layer="worker", kind="hang",
+                                 params={"seconds": 600})},
+            timeout=5, retries=1, max_workers=3)
+        assert sorted(results) == [0, 1, 2] and not failures
+        assert report.timeouts == 1
+
+    def test_persistent_garbage_fails_only_its_job(self):
+        results, failures, report = self.run(
+            faults={2: FaultSpec(layer="worker", kind="garbage",
+                                 attempts=PERSISTENT)},
+            retries=1)
+        # the healthy jobs' results survive the bad job's failure
+        assert sorted(results) == [0, 1]
+        assert failures == {2: "garbage"}
+        assert report.garbage_results == 2       # initial try + 1 retry
+        assert report.jobs["c"]["outcome"] == "pool-failed:garbage"
+
+    def test_worker_exception_is_classified(self):
+        results, failures, report = self.run(
+            jobs=[("a", 1), ("boom", 0)], labels=["a", "boom"],
+            retries=1)
+        assert sorted(results) == [0]
+        assert failures == {1: "error"}
+        assert report.run_faults == 2
+        assert any("ValueError: kapow" in event
+                   for event in report.jobs["boom"]["events"])
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        delays = [backoff_delay(n) for n in range(1, 10)]
+        assert delays == sorted(delays)
+        assert delays[0] == 0.05 and max(delays) == 1.0
+        assert delays == [backoff_delay(n) for n in range(1, 10)]
+
+    def test_env_budgets(self, monkeypatch):
+        monkeypatch.setenv("REVNIC_JOB_TIMEOUT", "12.5")
+        monkeypatch.setenv("REVNIC_JOB_RETRIES", "7")
+        assert default_timeout() == 12.5
+        assert default_retries() == 7
+        monkeypatch.setenv("REVNIC_JOB_TIMEOUT", "bogus")
+        monkeypatch.setenv("REVNIC_JOB_RETRIES", "-3")
+        assert default_timeout() == 300.0
+        assert default_retries() == 0
+
+
+class TestResilienceReport:
+    def test_retry_accounting(self):
+        report = ResilienceReport()
+        report.record_attempt("job", 1)
+        assert report.retries == 0
+        report.record_attempt("job", 2, event="crash")
+        assert report.retries == 1
+        assert report.jobs["job"]["attempts"] == 2
+        assert report.jobs["job"]["events"] == ["crash"]
+
+    def test_merge_and_healed(self):
+        first = ResilienceReport(timeouts=1)
+        first.record_degradation("pool", "unavailable")
+        second = ResilienceReport(retries=2)
+        second.record_fault(FaultRecord(layer="run", kind="GuestOsError",
+                                        job="x"))
+        first.merge(second)
+        assert first.timeouts == 1 and first.retries == 2
+        assert len(first.degradations) == 1
+        assert not first.healed()
+
+    def test_scrubbed_dict_drops_wall_clock(self):
+        report = ResilienceReport()
+        with report.stage_timer("load"):
+            pass
+        assert report.to_dict()["stage_seconds"]
+        assert report.scrubbed_dict()["stage_seconds"] == {}
+        # round-trips through JSON (the fuzz artifact embeds it)
+        assert json.loads(json.dumps(report.to_dict()))
+
+
+class TestOrchestratorUnderFault:
+    """The pipeline survives its own fault plane (tier-1 chaos slice:
+    two quick-script drivers, handcrafted plans, every layer)."""
+
+    DRIVERS = ("rtl8029", "smc91c111")
+
+    @pytest.fixture()
+    def campaign(self):
+        campaign = ChaosCampaign(drivers=self.DRIVERS, script="quick",
+                                 job_timeout=60.0, retries=2)
+        yield campaign
+        campaign.cleanup()
+
+    def test_worker_kill_heals_byte_identical(self, campaign):
+        outcome = campaign.run_schedule(FaultPlan(seed=1, faults=(
+            FaultSpec(layer="worker", kind="kill", target=0),)))
+        assert outcome.verdict == "identical"
+        assert outcome.resilience["worker_crashes"] >= 1
+        assert outcome.resilience["retries"] >= 1
+        # the faulted job healed in the pool; the healthy job's pooled
+        # result was never recomputed serially
+        assert outcome.resilience["jobs"]["rtl8029"]["outcome"] == "pool"
+        assert outcome.resilience["jobs"]["smc91c111"]["outcome"] \
+            == "pool"
+
+    def test_store_corruption_heals_byte_identical(self, campaign):
+        outcome = campaign.run_schedule(FaultPlan(seed=2, faults=(
+            FaultSpec(layer="store", kind="truncate", target=0,
+                      params={"keep_fraction": 0.4}),
+            FaultSpec(layer="store", kind="orphan_tmp", target=1,
+                      params={"salt": 7}),)))
+        assert outcome.verdict == "identical"
+        assert outcome.resilience["quarantined"] >= 1
+        assert outcome.resilience["recovered_tmp"] >= 1
+
+    def test_persistent_run_fault_fails_loudly(self, campaign):
+        outcome = campaign.run_schedule(FaultPlan(seed=3, faults=(
+            FaultSpec(layer="run", kind="guest_os_error", target=1,
+                      attempts=PERSISTENT),)))
+        assert outcome.verdict == "faulted"
+        assert "GuestOsError" in outcome.error
+        [record] = [r for r in outcome.fault_records
+                    if r["layer"] == "run"]
+        assert record["job"] == "smc91c111"
+        assert record["attempts"] >= 1
+        # the healthy driver still completed despite the loud failure
+        assert outcome.resilience["jobs"]["rtl8029"]["outcome"] in (
+            "pool", "serial-fallback")
+
+    def test_transient_run_fault_heals(self, campaign):
+        outcome = campaign.run_schedule(FaultPlan(seed=4, faults=(
+            FaultSpec(layer="run", kind="solver_budget", target=0,
+                      attempts=1),)))
+        assert outcome.verdict == "identical"
+        assert outcome.resilience["retries"] >= 1
+
+    def test_unclassified_failure_breaks_the_invariant(self, campaign,
+                                                       monkeypatch):
+        # a ReproError with no fault record behind it is exactly the
+        # silent-ish failure the campaign must refuse to bless
+        from repro.faults import campaign as campaign_module
+
+        class _Broken:
+            last_resilience = None
+
+            def __init__(self, **kwargs):
+                pass
+
+            def warm(self, *args, **kwargs):
+                raise ReproError("undocumented explosion")
+
+        campaign.baseline()
+        monkeypatch.setattr(campaign_module, "PipelineOrchestrator",
+                            _Broken)
+        with pytest.raises(campaign_module.ChaosInvariantError):
+            campaign.run_schedule(FaultPlan(seed=5, faults=(
+                FaultSpec(layer="worker", kind="kill"),)))
+
+    def test_fuzz_composition_is_byte_identical(self, campaign):
+        outcome = campaign.fuzz_invariant(
+            42, programs_per_round=1, max_rounds=1, dry_rounds=1,
+            os_names=("winsim",))
+        assert outcome["plan"]["faults"]
+        assert outcome["summary"]["runs"] > 0

@@ -165,10 +165,18 @@ class TestStore:
         assert canonical_json(loaded) == canonical_json(artifact)
         assert store.hits == 1
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path, artifacts):
+    def test_corrupt_entry_is_quarantined(self, tmp_path, artifacts):
+        # An entry that verifies but does not decode is corruption, not a
+        # miss: counted separately, quarantined as evidence, never served.
         store = ArtifactStore(str(tmp_path))
         key = "0" * 64
         store.save_json(key, "{not json")
+        assert store.load(key) is None
+        assert store.misses == 0
+        assert store.corrupt == 1 and store.quarantined == 1
+        assert os.path.exists(os.path.join(store.quarantine_dir,
+                                           "%s.json" % key))
+        # the entry is gone from the store proper: the next load misses
         assert store.load(key) is None
         assert store.misses == 1
 
