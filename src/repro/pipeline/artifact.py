@@ -189,6 +189,7 @@ class _Encoder:
         self._expr_index = {}
         self.blocks = []
         self._block_index = {}
+        self._block_content = {}
 
     # -- expressions ---------------------------------------------------
 
@@ -242,9 +243,22 @@ class _Encoder:
             "instr_spans": [list(span) for span in block.instr_spans],
             "ops": [self._op(op) for op in block.ops],
         }
-        index = len(self.blocks)
+        # Interning is keyed on *content*, with the id() map as a fast
+        # path: sharded exploration decodes sub-tree records in the
+        # parent, so one translation block can reach the encoder as
+        # several distinct objects -- they must still share one table
+        # entry or merged artifacts would not be byte-identical to the
+        # in-process run's.
+        content = (encoded["pc"], encoded["size"],
+                   tuple(encoded["instr_addrs"]),
+                   tuple(tuple(span) for span in encoded["instr_spans"]),
+                   tuple(tuple(op) for op in encoded["ops"]))
+        index = self._block_content.get(content)
+        if index is None:
+            index = len(self.blocks)
+            self._block_content[content] = index
+            self.blocks.append(encoded)
         self._block_index[id(block)] = index
-        self.blocks.append(encoded)
         return index
 
     def _op(self, op):
@@ -597,11 +611,26 @@ def from_json(text, source="disk-cache"):
     return artifact_from_dict(json.loads(text), source=source)
 
 
+#: Frontier-stat keys that depend on scheduling accidents (worker count,
+#: steal timing, wall clocks) rather than on (image, config, code) --
+#: scrubbed from canonical JSON, kept by to_json for benchmark reports.
+_VOLATILE_FRONTIER = {"mode": "any", "workers": 0, "steals": 0,
+                      "merge_wall_seconds": 0.0, "states_per_worker": [],
+                      "chunk_retries": 0, "fallbacks": 0}
+
+
 def _scrub_volatile(data):
     """Zero the wall-clock fields -- the only run outputs that are not a
     deterministic function of (driver image, config, code)."""
     stats = dict(data["stats"])
     stats["wall_seconds"] = 0.0
+    frontier = stats.get("frontier")
+    if isinstance(frontier, dict):
+        frontier = dict(frontier)
+        for key, neutral in _VOLATILE_FRONTIER.items():
+            if key in frontier:
+                frontier[key] = neutral
+        stats["frontier"] = frontier
     data["stats"] = stats
     coverage = dict(data["coverage"])
     coverage["timeline"] = [[blocks, 0.0, fraction]

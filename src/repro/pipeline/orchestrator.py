@@ -39,17 +39,28 @@ from repro.pipeline.store import ArtifactStore, artifact_key, default_store
 PARALLEL_ENV = "REVNIC_PARALLEL"
 
 
-def build_config(name, strategy="coverage", script="default"):
+def resolve_split_depth(split_depth=None):
+    """The effective frontier split depth: an explicit value, else the
+    ``REVNIC_EXPLORE_SPLIT_DEPTH`` environment default (0 = legacy)."""
+    from repro.symex.frontier import env_split_depth
+
+    return env_split_depth() if split_depth is None else max(0,
+                                                             int(split_depth))
+
+
+def build_config(name, strategy="coverage", script="default",
+                 split_depth=None):
     """The canonical :class:`RevNicConfig` for one orchestrated run."""
     from repro.drivers import device_class
     from repro.revnic import RevNicConfig
 
     return RevNicConfig(driver_name=name, pci=device_class(name).PCI,
-                        strategy=strategy, script=script)
+                        strategy=strategy, script=script,
+                        explore_split_depth=resolve_split_depth(split_depth))
 
 
 def execute_run(name, strategy="coverage", script="default",
-                source="computed", fault=None):
+                split_depth=None, source="computed", fault=None):
     """Run the full pipeline for one driver in this process.
 
     Pure producer: builds the driver image, runs RevNIC under ``config``,
@@ -57,7 +68,10 @@ def execute_run(name, strategy="coverage", script="default",
     :class:`RunArtifact` -- no singletons, no shared state, safe to call
     from any worker process.  ``fault`` is the run-layer fault-injection
     hook (:mod:`repro.faults`): a matching spec raises its induced,
-    classified exception at the requested stage.
+    classified exception at the requested stage.  ``split_depth``
+    enables partitioned frontier exploration (see
+    :mod:`repro.symex.frontier`); the worker count stays an environment
+    knob because it cannot change the artifact.
     """
     from repro.drivers import build_driver
     from repro.revnic import RevNic
@@ -66,7 +80,7 @@ def execute_run(name, strategy="coverage", script="default",
     if fault is not None:
         from repro.faults.inject import maybe_raise_run_fault
     image = build_driver(name)
-    config = build_config(name, strategy, script)
+    config = build_config(name, strategy, script, split_depth)
     engine = RevNic(image, config)
     if fault is not None:
         maybe_raise_run_fault(fault, "revnic")
@@ -87,9 +101,10 @@ def _worker(job, fault=None):
     (the pool child consumes them); run-layer faults pass through to
     :func:`execute_run`.
     """
-    name, strategy, script = job
-    artifact = execute_run(name, strategy, script, source="worker",
-                           fault=fault)
+    name, strategy, script = job[:3]
+    split_depth = job[3] if len(job) > 3 else None
+    artifact = execute_run(name, strategy, script, split_depth,
+                           source="worker", fault=fault)
     return to_json(artifact)
 
 
@@ -119,20 +134,21 @@ class PipelineOrchestrator:
 
     # ------------------------------------------------------------------
 
-    def run(self, name, strategy="coverage", script="default"):
+    def run(self, name, strategy="coverage", script="default",
+            split_depth=None):
         """The :class:`RunArtifact` for one driver configuration."""
-        key = (name, strategy, script)
+        key = (name, strategy, script, resolve_split_depth(split_depth))
         artifact = self._artifacts.get(key)
         if artifact is None:
             artifact = self._load_cached(*key)
         if artifact is None:
-            artifact = execute_run(name, strategy, script)
+            artifact = execute_run(*key)
             self._store_artifact(key, artifact)
         self._artifacts[key] = artifact
         return artifact
 
     def warm(self, names=None, strategy="coverage", script="default",
-             parallel=None, faults=None):
+             parallel=None, faults=None, split_depth=None):
         """Materialize artifacts for ``names`` (default: all drivers),
         computing the missing ones in supervised parallel workers.
 
@@ -148,6 +164,7 @@ class PipelineOrchestrator:
         from repro.faults.report import FaultRecord, ResilienceReport
 
         names = sorted(DRIVERS) if names is None else list(names)
+        split_depth = resolve_split_depth(split_depth)
         report = ResilienceReport()
         self.last_resilience = report
         store_before = self.store.counters() if self.store else None
@@ -159,7 +176,7 @@ class PipelineOrchestrator:
         missing = []
         with report.stage_timer("load"):
             for name in names:
-                key = (name, strategy, script)
+                key = (name, strategy, script, split_depth)
                 if key in self._artifacts:
                     continue
                 artifact = self._load_cached(*key)
@@ -198,7 +215,8 @@ class PipelineOrchestrator:
             report.recovered_tmp += after["recovered"] \
                 - store_before["recovered"]
             report.evicted += after["evicted"] - store_before["evicted"]
-        return {name: self._artifacts[(name, strategy, script)]
+        return {name: self._artifacts[(name, strategy, script,
+                                       split_depth)]
                 for name in names}
 
     def all_drivers(self):
@@ -293,21 +311,25 @@ class PipelineOrchestrator:
                                   "serial-fallback" if degraded
                                   else "serial")
 
-    def _load_cached(self, name, strategy, script):
+    def _load_cached(self, name, strategy, script, split_depth=None):
         if self.store is None:
             return None
-        return self.store.load(self._disk_key(name, strategy, script))
+        return self.store.load(self._disk_key(name, strategy, script,
+                                              split_depth))
 
     def _store_artifact(self, key, artifact):
         if self.store is None:
             return
         self.store.save(self._disk_key(*key), artifact)
 
-    def _disk_key(self, name, strategy, script):
+    def _disk_key(self, name, strategy, script, split_depth=None):
         from repro.drivers import build_driver
 
+        # The split depth rides the config, so partitioned and legacy
+        # artifacts can never collide in the content-addressed store.
         return artifact_key(build_driver(name),
-                            build_config(name, strategy, script))
+                            build_config(name, strategy, script,
+                                         split_depth))
 
 
 _GLOBAL_ORCHESTRATOR = None

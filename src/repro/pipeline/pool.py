@@ -22,6 +22,7 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import time
+from collections import deque
 
 #: Environment variable: per-job wall-clock budget in seconds.
 TIMEOUT_ENV = "REVNIC_JOB_TIMEOUT"
@@ -272,3 +273,284 @@ def run_supervised(jobs, worker, labels=None, max_workers=None,
                 pass
             reap(entry)
     return results, failures
+
+
+# ==========================================================================
+# Persistent chunk pool (sharded frontier exploration)
+
+def _chunk_child_main(conn, setup, bootstrap):
+    """Persistent worker: run ``setup(bootstrap)`` once, then serve
+    ``("chunk", index, payload)`` messages until ``("stop",)`` or EOF,
+    answering ``("ok", index, result)`` / ``("error", index, info)``."""
+    try:
+        run_chunk = setup(bootstrap)
+    except BaseException as exc:
+        try:
+            conn.send(("fatal", {"type": type(exc).__name__,
+                                 "message": str(exc)}))
+        except Exception:
+            pass
+        try:
+            conn.close()
+        except Exception:
+            pass
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if not isinstance(message, tuple) or not message \
+                or message[0] == "stop":
+            break
+        _, index, payload = message
+        try:
+            result = run_chunk(payload)
+        except BaseException as exc:
+            try:
+                conn.send(("error", index, {"type": type(exc).__name__,
+                                            "message": str(exc)}))
+            except Exception:
+                break
+        else:
+            try:
+                conn.send(("ok", index, result))
+            except Exception:
+                break
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+class ChunkPool:
+    """Persistent spawn-process pool with contiguous partitioning and
+    work stealing.
+
+    :func:`run_supervised` pays one process spawn per job -- fine for a
+    handful of driver runs, ruinous for sharded frontier exploration
+    where every phase fans out sub-tree chunks.  Here each worker runs
+    ``setup(bootstrap)`` exactly once (rebuilding the read-only engine
+    context from picklable bootstrap data) and then serves chunk after
+    chunk over a duplex pipe, across every phase of a run.
+
+    Each batch is partitioned contiguously across workers; an idle
+    worker first drains its own span, then steals from the *tail* of the
+    longest remaining backlog (ties to the lowest worker index), so one
+    deep sub-tree does not serialize the phase.  Failures (crash, error,
+    timeout) retry with the supervisor's deterministic backoff; chunks
+    that exhaust the budget come back as ``None`` and the caller re-runs
+    them in-process -- sharding can only change wall time, never
+    results.
+    """
+
+    def __init__(self, setup, bootstrap, workers, timeout=None,
+                 retries=None):
+        self._setup = setup
+        self._bootstrap = bootstrap
+        self.workers = max(1, int(workers))
+        self.timeout = default_timeout() if timeout is None \
+            else (timeout or None)
+        self.retries = default_retries() if retries is None else retries
+        self.steals = 0
+        self.chunk_retries = 0
+        self.chunks_failed = 0
+        #: chunks served per worker slot (engine frontier stats)
+        self.served = [0] * self.workers
+        try:
+            self._context = multiprocessing.get_context("spawn")
+        except ValueError as exc:
+            raise PoolUnavailable(str(exc))
+        self._procs = [None] * self.workers
+        self._conns = [None] * self.workers
+        started = 0
+        for slot in range(self.workers):
+            if self._spawn(slot):
+                started += 1
+        if not started:
+            raise PoolUnavailable("no chunk worker could be spawned")
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _spawn(self, slot):
+        try:
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_chunk_child_main,
+                args=(child_conn, self._setup, self._bootstrap),
+                daemon=True)
+            process.start()
+            child_conn.close()
+        except Exception:
+            self._procs[slot] = None
+            self._conns[slot] = None
+            return False
+        self._procs[slot] = process
+        self._conns[slot] = parent_conn
+        return True
+
+    def _retire(self, slot, kill=False):
+        process = self._procs[slot]
+        conn = self._conns[slot]
+        self._procs[slot] = None
+        self._conns[slot] = None
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        if process is not None:
+            if kill:
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+            process.join(timeout=5)
+            if process.is_alive():
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+                process.join(timeout=5)
+
+    def close(self):
+        for slot in range(self.workers):
+            conn = self._conns[slot]
+            if conn is not None:
+                try:
+                    conn.send(("stop",))
+                except Exception:
+                    pass
+        for slot in range(self.workers):
+            self._retire(slot)
+
+    # -- batch execution -----------------------------------------------
+
+    def run(self, messages):
+        """Run every chunk; returns results aligned with ``messages``
+        (``None`` where the retry budget was exhausted)."""
+        count = len(messages)
+        results = [None] * count
+        resolved = [False] * count
+        unresolved = count
+        attempts = [0] * count
+        retry_pending = []      # (not_before, index)
+        busy = {}               # slot -> (index, deadline)
+
+        share, extra = divmod(count, self.workers)
+        queues = []
+        cursor = 0
+        for slot in range(self.workers):
+            size = share + (1 if slot < extra else 0)
+            queues.append(deque(range(cursor, cursor + size)))
+            cursor += size
+
+        def take_chunk(slot):
+            if queues[slot]:
+                return queues[slot].popleft()
+            donor = None
+            for other in range(self.workers):
+                if other == slot or not queues[other]:
+                    continue
+                if donor is None or len(queues[other]) > len(queues[donor]):
+                    donor = other
+            if donor is not None:
+                self.steals += 1
+                return queues[donor].pop()
+            now = time.monotonic()
+            ready = [item for item in retry_pending if item[0] <= now]
+            if ready:
+                item = min(ready)
+                retry_pending.remove(item)
+                return item[1]
+            return None
+
+        def fail_attempt(index):
+            nonlocal unresolved
+            if attempts[index] <= self.retries:
+                self.chunk_retries += 1
+                retry_pending.append(
+                    (time.monotonic() + backoff_delay(attempts[index]),
+                     index))
+            else:
+                self.chunks_failed += 1
+                resolved[index] = True
+                unresolved -= 1
+
+        def dispatch():
+            for slot in range(self.workers):
+                if slot in busy:
+                    continue
+                if self._conns[slot] is None and not self._spawn(slot):
+                    continue
+                index = take_chunk(slot)
+                if index is None:
+                    continue
+                attempts[index] += 1
+                try:
+                    self._conns[slot].send(("chunk", index,
+                                            messages[index]))
+                except Exception:
+                    self._retire(slot, kill=True)
+                    fail_attempt(index)
+                    continue
+                deadline = (time.monotonic() + self.timeout) \
+                    if self.timeout else None
+                busy[slot] = (index, deadline)
+                self.served[slot] += 1
+
+        while unresolved:
+            dispatch()
+            if not busy:
+                if any(conn is not None for conn in self._conns):
+                    if retry_pending:
+                        next_ready = min(item[0] for item in retry_pending)
+                        time.sleep(max(0.0, min(next_ready
+                                                - time.monotonic(),
+                                                BACKOFF_CAP)))
+                    continue
+                # Every worker is dead and none respawned: give up on
+                # whatever is left (the caller runs it in-process).
+                for index in range(count):
+                    if not resolved[index]:
+                        self.chunks_failed += 1
+                        resolved[index] = True
+                        unresolved -= 1
+                break
+
+            multiprocessing.connection.wait(
+                [self._conns[slot] for slot in busy], timeout=_POLL_SECONDS)
+            now = time.monotonic()
+            for slot, (index, deadline) in list(busy.items()):
+                conn = self._conns[slot]
+                if conn.poll():
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        del busy[slot]
+                        self._retire(slot)
+                        fail_attempt(index)
+                        continue
+                    kind = message[0] if isinstance(message, tuple) \
+                        and message else None
+                    if kind == "ok":
+                        del busy[slot]
+                        results[message[1]] = message[2]
+                        resolved[message[1]] = True
+                        unresolved -= 1
+                    elif kind == "error":
+                        del busy[slot]
+                        fail_attempt(index)
+                    else:   # "fatal" during setup, or garbage
+                        del busy[slot]
+                        self._retire(slot, kill=True)
+                        fail_attempt(index)
+                elif not self._procs[slot].is_alive():
+                    del busy[slot]
+                    self._retire(slot)
+                    fail_attempt(index)
+                elif deadline is not None and now > deadline:
+                    del busy[slot]
+                    self._retire(slot, kill=True)
+                    fail_attempt(index)
+        return results

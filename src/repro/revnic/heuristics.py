@@ -36,7 +36,14 @@ class CoverageDrivenStrategy:
         best_count = None
         for index, state in enumerate(states):
             count = self.block_counts.get(state.pc, 0)
-            if best_count is None or count < best_count:
+            # Ties break on the deterministic state id, never on worklist
+            # position: insertion order differs between a single global
+            # queue and per-sub-tree queues, and sharded exploration
+            # (repro.symex.frontier) depends on the pick being a pure
+            # function of the state *set*.
+            if best_count is None or count < best_count \
+                    or (count == best_count
+                        and state.id < states[best_index].id):
                 best_count = count
                 best_index = index
         return best_index
