@@ -32,7 +32,12 @@ from repro.ir.nodes import (
 )
 from repro.ir.printer import format_block, format_op
 from repro.ir.interp import IrEnv, run_block
-from repro.ir.compile import compile_block, exec_counters
+from repro.ir.compile import (block_source, compile_block, compile_source,
+                              exec_counters)
+from repro.ir.codecache import codecache_counters
+from repro.ir.superblock import (Superblock, SuperblockConfig,
+                                 SuperblockManager, superblock_counters,
+                                 superblock_source, superblocks_enabled)
 from repro.ir.backend import (
     BACKENDS,
     DEFAULT_BACKEND,
@@ -67,8 +72,17 @@ __all__ = [
     "format_op",
     "IrEnv",
     "run_block",
+    "block_source",
     "compile_block",
+    "compile_source",
     "exec_counters",
+    "codecache_counters",
+    "Superblock",
+    "SuperblockConfig",
+    "SuperblockManager",
+    "superblock_counters",
+    "superblock_source",
+    "superblocks_enabled",
     "BACKENDS",
     "DEFAULT_BACKEND",
     "CompiledBackend",

@@ -1,0 +1,271 @@
+"""Persistent compiled-code cache: generated sources, content-addressed.
+
+:func:`repro.ir.compile.block_source` and the superblock generator are
+pure functions of block content, so their output can be persisted and
+re-imported by a warm process instead of regenerated -- the codegen
+analogue of the run-artifact store.  Entries ride the exact same
+hardening discipline as :class:`~repro.pipeline.store.ArtifactStore`
+(PR 7): every file carries a digest footer, truncation or bit rot is
+detected and quarantined, publishes are atomic.  On top of the store's
+framing, each payload records the codegen schema version and the
+``src/repro`` code fingerprint; an entry whose recorded values do not
+match the running process is **quarantined and regenerated, never
+served** -- stale generated code must not execute.
+
+Keys hash four things: the codegen schema version, the code fingerprint,
+the entry kind, and a structural descriptor of the block(s) -- pc, size,
+instruction count and the full op list, i.e. everything the generated
+source depends on.  Two entry kinds exist:
+
+* ``block`` / ``superblock:<flavor>`` -- the generated module source;
+* ``sb-hint:<flavor>`` -- a chain hint: the member pcs of a superblock
+  previously formed from this head block, letting a warm process re-form
+  the chain on the *first* dispatch instead of re-profiling up to the
+  hot threshold.
+
+The cache lives under ``<artifact-cache>/codegen`` by default (so CI's
+store caching covers it) and is controlled by ``REVNIC_CODE_CACHE``:
+unset follows ``REVNIC_ARTIFACT_CACHE``, a path overrides the directory,
+``off`` disables persistence (generation still works, nothing touches
+disk).
+"""
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+
+#: Environment variable overriding the code-cache directory; ``off``
+#: disables persistence.  Unset: ``<artifact-cache>/codegen``.
+CODE_CACHE_ENV = "REVNIC_CODE_CACHE"
+
+#: Bump whenever the generated-source layout changes incompatibly.
+CODEGEN_SCHEMA = 1
+
+_DISABLED = ("off", "0", "none", "disabled")
+
+#: Deterministic outcome counters (process-wide): ``generated`` sources
+#: built by the code generator, ``imported`` served from disk,
+#: ``persisted`` written, ``rejected`` quarantined for a schema or
+#: fingerprint mismatch, ``hints`` chain hints served.
+_counters = {"generated": 0, "imported": 0, "persisted": 0,
+             "rejected": 0, "hints": 0}
+
+_stores = {}
+
+#: In-memory mirror of the persisted chain hints, including negative
+#: results.  Hint probes happen on the *first* dispatch of every head pc
+#: in every manager (each harness builds its own), so without this every
+#: short-lived harness would re-pay a digest-verified disk read per head.
+_HINTS = {}
+_HINTS_MAX = 8192
+
+
+def codecache_counters():
+    """Snapshot of the code-cache outcome counters."""
+    return dict(_counters)
+
+
+def cache_dir():
+    """The configured code-cache directory, or ``None`` when disabled."""
+    value = os.environ.get(CODE_CACHE_ENV)
+    if value:
+        if value.lower() in _DISABLED:
+            return None
+        return value
+    from repro.pipeline.store import default_cache_dir
+    root = default_cache_dir()
+    if root is None:
+        return None
+    return os.path.join(root, "codegen")
+
+
+def _store():
+    root = cache_dir()
+    if root is None:
+        return None
+    store = _stores.get(root)
+    if store is None:
+        from repro.pipeline.store import ArtifactStore
+        store = _stores[root] = ArtifactStore(root)
+    return store
+
+
+def enabled():
+    """True when a persistent backing store is configured."""
+    return _store() is not None
+
+
+def store_counters():
+    """The backing store's own outcome counters (empty when disabled)."""
+    store = _store()
+    return store.counters() if store is not None else {}
+
+
+def forget_stores():
+    """Drop the per-process store handles and the in-memory hint mirror
+    (tests use this to simulate a fresh process against the same
+    on-disk cache)."""
+    _stores.clear()
+    _HINTS.clear()
+
+
+def _fingerprint():
+    from repro.pipeline.store import code_fingerprint
+    return code_fingerprint()
+
+
+# -- content descriptors -----------------------------------------------
+
+
+def op_signature(op):
+    """A deterministic, python-version-stable rendering of one IR op."""
+    parts = [type(op).__name__]
+    for spec in dataclasses.fields(op):
+        value = getattr(op, spec.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        parts.append("%s=%r" % (spec.name, value))
+    return ",".join(parts)
+
+
+def block_descriptor(block):
+    """Structural identity of one block: layout plus the full op list."""
+    return "%d:%d:%d|%s" % (
+        block.pc, block.size, len(block.instr_addrs),
+        ";".join(op_signature(op) for op in block.ops))
+
+
+def chain_descriptor(blocks):
+    """Structural identity of a superblock chain."""
+    return "&".join(block_descriptor(block) for block in blocks)
+
+
+def _key(kind, descriptor):
+    digest = hashlib.sha256()
+    digest.update(("revnic-codegen:%d:%s|" % (CODEGEN_SCHEMA,
+                                              kind)).encode())
+    digest.update(_fingerprint().encode())
+    digest.update(b"|")
+    digest.update(descriptor.encode())
+    return "code-" + digest.hexdigest()
+
+
+# -- payload framing ----------------------------------------------------
+
+
+def _load_payload(store, key, kind):
+    """The validated payload dict under ``key``, or ``None``.
+
+    The store already rejects (and quarantines) digest failures; this
+    layer additionally rejects payloads whose recorded kind, codegen
+    schema, or code fingerprint differ from the running process --
+    quarantined too, so a stale entry costs one regeneration and leaves
+    evidence, exactly like a corrupt one.
+    """
+    text = store.load_json(key)
+    if text is None:
+        return None
+    try:
+        payload = json.loads(text)
+    except ValueError:  # pragma: no cover - load_json pre-validates
+        payload = None
+    if (not isinstance(payload, dict)
+            or payload.get("kind") != kind
+            or payload.get("codegen") != CODEGEN_SCHEMA
+            or payload.get("fingerprint") != _fingerprint()):
+        store.quarantine_entry(key)
+        _counters["rejected"] += 1
+        return None
+    return payload
+
+
+def _save_payload(store, key, kind, extra):
+    payload = {"kind": kind, "codegen": CODEGEN_SCHEMA,
+               "fingerprint": _fingerprint()}
+    payload.update(extra)
+    try:
+        store.save_json(key, json.dumps(payload, sort_keys=True))
+    except OSError:
+        return
+    _counters["persisted"] += 1
+
+
+# -- public API ---------------------------------------------------------
+
+
+def cached_source(kind, descriptor, generate):
+    """The generated source for ``descriptor``, through the cache.
+
+    Serves the persisted source when a valid entry exists; otherwise
+    calls ``generate()`` and persists the result.  Both paths return
+    byte-identical text because generation is deterministic and entries
+    are validated before being served.
+    """
+    store = _store()
+    if store is None:
+        _counters["generated"] += 1
+        return generate()
+    key = _key(kind, descriptor)
+    payload = _load_payload(store, key, kind)
+    if payload is not None:
+        source = payload.get("source")
+        if isinstance(source, str):
+            _counters["imported"] += 1
+            return source
+        store.quarantine_entry(key)
+        _counters["rejected"] += 1
+    source = generate()
+    _counters["generated"] += 1
+    _save_payload(store, key, kind, {"source": source})
+    return source
+
+
+def _hint_key(head_block, flavor):
+    """Cheap hashable identity for the in-memory hint mirror (same
+    content identity as the shared compiled-program caches)."""
+    return (flavor, head_block.pc, head_block.size,
+            len(head_block.instr_addrs), tuple(head_block.ops))
+
+
+def load_chain_hint(head_block, flavor):
+    """The recorded member pcs of a superblock headed by ``head_block``,
+    or ``None`` when no (valid) hint is persisted.  Disk is consulted
+    once per head per process; hits and misses are both mirrored."""
+    store = _store()
+    if store is None:
+        return None
+    memo_key = _hint_key(head_block, flavor)
+    if memo_key in _HINTS:
+        members = _HINTS[memo_key]
+        if members is not None:
+            _counters["hints"] += 1
+        return members
+    kind = "sb-hint:" + flavor
+    payload = _load_payload(store, _key(kind, block_descriptor(head_block)),
+                            kind)
+    members = payload.get("members") if payload is not None else None
+    if (not isinstance(members, list) or len(members) < 2
+            or not all(isinstance(pc, int) for pc in members)):
+        members = None
+    if len(_HINTS) >= _HINTS_MAX:
+        _HINTS.clear()
+    _HINTS[memo_key] = members
+    if members is not None:
+        _counters["hints"] += 1
+    return members
+
+
+def store_chain_hint(head_block, flavor, members):
+    """Persist the member pcs of a freshly formed superblock."""
+    store = _store()
+    if store is None:
+        return
+    members = list(members)
+    if len(_HINTS) >= _HINTS_MAX:
+        _HINTS.clear()
+    _HINTS[_hint_key(head_block, flavor)] = members
+    kind = "sb-hint:" + flavor
+    _save_payload(store, _key(kind, block_descriptor(head_block)), kind,
+                  {"members": members})

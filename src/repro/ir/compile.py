@@ -11,11 +11,24 @@ at block entry, ``ops_retired`` per executed op even when an op faults
 mid-block) and the fault behaviour (``VmFault`` on divide by zero,
 whatever the environment's memory/I/O callables raise for bad accesses).
 
+Generated sources are *self-contained modules*: every constant (the
+``BlockResult`` objects a block returns) is emitted as a source-level
+binding, so :func:`block_source` is a pure function of the block's
+ops/layout and the exact same text executes identically in any process.
+That is what makes the persistent code cache (:mod:`repro.ir.codecache`)
+sound: a warm process imports the cached source instead of regenerating
+it, and both paths exec byte-identical text.
+
 The compiled function is cached on the block object itself, so cache
 lifetime *is* block lifetime: a :class:`~repro.dbt.translator.Translator`
 that retranslates a patched block produces a fresh block object and
 therefore a fresh compiled function -- the mid-block-patch invalidation
 semantics come for free.
+
+The op lowering in :func:`_emit_op` is shared with the superblock
+code generator (:mod:`repro.ir.superblock`), which subclasses
+:class:`_Writer` to retarget the counter sinks at local accumulators and
+wrap returns in the chain-exit protocol.
 """
 
 from repro.errors import VmFault
@@ -57,12 +70,23 @@ def exec_counters():
 
 
 class _Writer:
-    """Accumulates body lines plus the deferred ops_retired flushes."""
+    """Accumulates body lines plus the deferred ops_retired flushes.
+
+    The class attributes name the counter sinks the emitted statements
+    increment; the superblock writer retargets them at local accumulators
+    (flushed once in a ``finally``) and overrides :meth:`wrap_return` /
+    :meth:`after_store` for the chain-exit protocol and the self-patch
+    store guard.
+    """
+
+    ops_target = "env.ops_retired"
+    io_target = "env.io_ops"
+    mem_target = "env.mem_ops"
 
     def __init__(self):
         self.lines = []
         self.pending = 0          # executed ops not yet counted
-        self.consts = {}          # namespace name -> prebuilt object
+        self.consts = []          # (name, source expression) pairs
         self.used = set()         # env accessors referenced by the body
 
     def line(self, text):
@@ -75,12 +99,21 @@ class _Writer:
         count = self.pending + including
         self.pending = 0
         if count:
-            self.line("env.ops_retired += %d" % count)
+            self.line("%s += %d" % (self.ops_target, count))
 
-    def const(self, prefix, value):
+    def const(self, prefix, expr):
+        """Bind source expression ``expr`` as a module-level constant."""
         name = "_%s%d" % (prefix, len(self.consts))
-        self.consts[name] = value
+        self.consts.append((name, expr))
         return name
+
+    def wrap_return(self, expr):
+        """The return statement delivering ``expr`` as the block result."""
+        return "return " + expr
+
+    def after_store(self, address_ref):
+        """Hook invoked after every emitted store; the superblock writer
+        guards writes into the chain's own code span here."""
 
 
 def _signed(ref):
@@ -135,50 +168,53 @@ def _emit_op(w, op):
         w.line("mem_write(%s, %d, %s)"
                % (t % op.addr, op.width, t % op.src))
         _emit_access_count(w, t % op.addr)
+        w.after_store(t % op.addr)
         return False
     elif isinstance(op, N.IrIn):
         w.used.add("io_read")
         w.flush(including=1)
         w.line(t % op.dst + " = io_read(%s, %d)" % (t % op.port, op.width))
-        w.line("env.io_ops += 1")
+        w.line("%s += 1" % w.io_target)
         return False
     elif isinstance(op, N.IrOut):
         w.used.add("io_write")
         w.flush(including=1)
         w.line("io_write(%s, %d, %s)" % (t % op.port, op.width, t % op.src))
-        w.line("env.io_ops += 1")
+        w.line("%s += 1" % w.io_target)
         return False
     elif isinstance(op, N.IrJump):
         w.flush(including=1)
         if op.indirect:
-            w.line("return BlockResult(\"jump\", %s)" % (t % op.target,))
+            w.line(w.wrap_return("BlockResult(\"jump\", %s)"
+                                 % (t % op.target,)))
         else:
-            w.line("return " + w.const(
-                "j", BlockResult("jump", op.target)))
+            w.line(w.wrap_return(w.const(
+                "j", "BlockResult(\"jump\", %d)" % op.target)))
         return True
     elif isinstance(op, N.IrCondJump):
         w.flush(including=1)
-        taken = w.const("j", BlockResult("jump", op.target))
-        fall = w.const("j", BlockResult("jump", op.fallthrough))
-        w.line("return %s if %s else %s" % (taken, t % op.cond, fall))
+        taken = w.const("j", "BlockResult(\"jump\", %d)" % op.target)
+        fall = w.const("j", "BlockResult(\"jump\", %d)" % op.fallthrough)
+        w.line(w.wrap_return("%s if %s else %s" % (taken, t % op.cond, fall)))
         return True
     elif isinstance(op, N.IrCall):
         w.flush(including=1)
         if op.indirect:
-            w.line("return BlockResult(\"call\", %s, %d)"
-                   % (t % op.target, op.return_pc))
+            w.line(w.wrap_return("BlockResult(\"call\", %s, %d)"
+                                 % (t % op.target, op.return_pc)))
         else:
-            w.line("return " + w.const(
-                "c", BlockResult("call", op.target, op.return_pc)))
+            w.line(w.wrap_return(w.const(
+                "c", "BlockResult(\"call\", %d, %d)"
+                % (op.target, op.return_pc))))
         return True
     elif isinstance(op, N.IrRet):
         w.flush(including=1)
-        w.line("return BlockResult(\"ret\", %s, cleanup=%d)"
-               % (t % op.addr, op.cleanup))
+        w.line(w.wrap_return("BlockResult(\"ret\", %s, cleanup=%d)"
+                             % (t % op.addr, op.cleanup)))
         return True
     elif isinstance(op, N.IrHalt):
         w.flush(including=1)
-        w.line("return " + w.const("h", BlockResult("halt")))
+        w.line(w.wrap_return(w.const("h", "BlockResult(\"halt\")")))
         return True
     else:  # pragma: no cover - node set is closed
         raise TypeError("cannot compile IR op %r" % (op,))
@@ -188,9 +224,9 @@ def _emit_op(w, op):
 
 def _emit_access_count(w, address_ref):
     w.line("if is_dev(%s):" % address_ref)
-    w.line("    env.io_ops += 1")
+    w.line("    %s += 1" % w.io_target)
     w.line("else:")
-    w.line("    env.mem_ops += 1")
+    w.line("    %s += 1" % w.mem_target)
 
 
 _BINDINGS = {
@@ -203,7 +239,14 @@ _BINDINGS = {
 }
 
 
-def _compile_block(block):
+def block_source(block):
+    """The generated module source for ``block``: constant bindings plus
+    one ``_block(env)`` function.
+
+    A pure function of the block's ops and layout -- byte-identical
+    whenever the block content is identical -- which is the contract the
+    persistent code cache relies on.
+    """
     w = _Writer()
     terminated = False
     for op in block.ops:
@@ -213,20 +256,38 @@ def _compile_block(block):
     if not terminated:
         # A block with no terminator falls through (split-block heads).
         w.flush()
-        w.line("return " + w.const(
-            "f", BlockResult("jump", block.end_pc)))
+        w.line(w.wrap_return(w.const(
+            "f", "BlockResult(\"jump\", %d)" % block.end_pc)))
 
-    header = ["def _block(env):",
-              "    _c[1] += 1",
-              "    env.instrs_retired += %d" % len(block.instr_addrs)]
+    header = ["%s = %s" % pair for pair in w.consts]
+    header += ["def _block(env):",
+               "    _c[1] += 1",
+               "    env.instrs_retired += %d" % len(block.instr_addrs)]
     header.extend(_BINDINGS[name] for name in sorted(w.used))
-    source = "\n".join(header + w.lines) + "\n"
+    return "\n".join(header + w.lines) + "\n"
+
+
+def compile_source(source, name, filename, extra=None):
+    """Exec generated ``source`` and return the function bound to
+    ``name``.  The namespace carries the shared counter cells plus
+    whatever ``extra`` bindings the flavour needs."""
     namespace = {"_c": _COUNTER_CELLS, "VmFault": VmFault,
                  "BlockResult": BlockResult}
-    namespace.update(w.consts)
-    exec(compile(source, "<block-0x%08x>" % block.pc, "exec"), namespace)
+    if extra:
+        namespace.update(extra)
+    exec(compile(source, filename, "exec"), namespace)
+    return namespace[name]
+
+
+def _compile_block(block):
+    from repro.ir import codecache
+
+    source = codecache.cached_source(
+        "block", codecache.block_descriptor(block),
+        lambda: block_source(block))
+    fn = compile_source(source, "_block", "<block-0x%08x>" % block.pc)
     _COUNTER_CELLS[0] += 1
-    return namespace["_block"]
+    return fn
 
 
 #: Content-addressed program cache shared across translators: two block
@@ -246,7 +307,9 @@ def compile_block(block):
     """The compiled execution function of ``block`` (cached on the block).
 
     Returns a function ``fn(env) -> BlockResult`` with semantics identical
-    to ``run_block(block, env)``.
+    to ``run_block(block, env)``.  Rides the persistent code cache when
+    one is configured: the generated source is stored content-addressed,
+    so a warm process imports instead of regenerating.
     """
     fn = getattr(block, "_compiled", None)
     if fn is None:

@@ -18,6 +18,14 @@ byte) the attempt is discarded -- nothing external was mutated -- and the
 block re-executes through the symbolic op walker, so traces, constraints,
 forks, and every deterministic counter are identical with the fast path
 on or off.
+
+The fast path compiles blocks through :func:`repro.ir.compile.compile_block`
+and therefore rides the persistent code cache (:mod:`repro.ir.codecache`):
+a warm process imports previously generated block sources instead of
+regenerating them, cutting symbolic-run cold start.  Superblock chaining
+is deliberately *not* applied here -- per-block stepping (``count_block``,
+``blocks_executed``, the per-block tracer records) is part of the artifact
+byte contract, and fusing blocks would change it.
 """
 
 from dataclasses import dataclass

@@ -217,11 +217,12 @@ class OriginalDut(DriverUnderTest):
     side = "original"
 
     def __init__(self, driver_name, mac=VALIDATION_MAC,
-                 exec_backend="compiled"):
+                 exec_backend="compiled", exec_superblocks=None):
         super().__init__(driver_name, mac)
         self._front = DriverHarness(build_driver(driver_name),
                                     device_class(driver_name), mac=mac,
-                                    exec_backend=exec_backend)
+                                    exec_backend=exec_backend,
+                                    exec_superblocks=exec_superblocks)
 
     @property
     def medium(self):
@@ -269,7 +270,7 @@ class SynthesizedDut(DriverUnderTest):
     """
 
     def __init__(self, artifact, os_name, mac=VALIDATION_MAC,
-                 exec_backend=None):
+                 exec_backend=None, exec_superblocks=None):
         super().__init__(artifact.name, mac)
         self.target_os = os_name
         self.side = "synthesized/%s" % os_name
@@ -278,7 +279,8 @@ class SynthesizedDut(DriverUnderTest):
             else NicTemplate
         self._front = template_cls(artifact.synthesized, target,
                                    original_image=artifact.image,
-                                   exec_backend=exec_backend)
+                                   exec_backend=exec_backend,
+                                   exec_superblocks=exec_superblocks)
         self._os = target
 
     @property

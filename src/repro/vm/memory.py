@@ -17,6 +17,14 @@ class Memory:
     def __init__(self):
         self._pages = {}
         self._regions = []  # (base, limit, name), sorted
+        #: Bumped whenever a write (CPU store, DMA, loader) intersects
+        #: the watched code span below.  Consumers that cache derived
+        #: views of guest code -- the superblock tier's per-chain byte
+        #: revalidation -- compare epochs to skip re-reading code that
+        #: cannot have changed.  Data writes never bump it.
+        self.write_epoch = 0
+        self._watch_lo = 1   # empty span (lo > hi): nothing watched yet
+        self._watch_hi = 0
 
     # ------------------------------------------------------------------
     # Region management
@@ -102,7 +110,19 @@ class Memory:
             size -= chunk
         return bytes(out)
 
+    def watch_code_span(self, lo, hi):
+        """Grow the watched code span to include ``[lo, hi)``.  One flat
+        span (not a list) keeps the per-write check to two compares; the
+        over-approximation only costs spurious epoch bumps."""
+        if self._watch_lo > self._watch_hi:
+            self._watch_lo, self._watch_hi = lo, hi
+        else:
+            self._watch_lo = min(self._watch_lo, lo)
+            self._watch_hi = max(self._watch_hi, hi)
+
     def _write_raw(self, address, data):
+        if address < self._watch_hi and address + len(data) > self._watch_lo:
+            self.write_epoch += 1
         pos = 0
         while pos < len(data):
             page_number, offset = divmod(address + pos, PAGE_SIZE)

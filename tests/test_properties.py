@@ -1,9 +1,12 @@
 """Property-based tests (hypothesis) on core invariants."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble
 from repro.errors import VmFault
+from repro.ir.codecache import CODE_CACHE_ENV
+from repro.ir.superblock import SuperblockConfig, superblock_counters
 from repro.isa import Instruction, Op, decode, encode
 from repro.isa.encoding import INSTR_SIZE, NO_REG
 from repro.layout import HEAP_BASE, TEXT_BASE, page_align
@@ -17,6 +20,15 @@ from repro.vm import Machine
 reg = st.integers(min_value=0, max_value=15)
 u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
 u8 = st.integers(min_value=0, max_value=0xFF)
+
+
+@pytest.fixture(autouse=True)
+def _no_persistent_code_cache(monkeypatch):
+    """Hypothesis generates unbounded distinct programs; writing each
+    compiled source to the persistent code cache would grow it without
+    bound and make these tests I/O-heavy.  Scoped here (not globally)
+    so cache-hit paths stay exercised elsewhere."""
+    monkeypatch.setenv(CODE_CACHE_ENV, "off")
 
 
 class TestEncodingProperties:
@@ -215,6 +227,117 @@ class TestBackendDifferential:
         compiled = self._execute(instrs, "compiled")
         assert step == interp
         assert step == compiled
+
+
+class TestSuperblockDifferential:
+    """Random hot-trace-shaped programs -- a loop body crossing several
+    translation blocks via a conditional fall-through, a direct jump,
+    and the loop back-edge -- must be indistinguishable across all four
+    execution tiers.  The superblock tier keeps its architectural
+    counters in locals and flushes them in ``finally``, so the tuple
+    compared here includes ``instret``/``mem_ops``/``io_ops`` to pin
+    the counter contract under faults as well as on clean exits.
+    """
+
+    _segment = st.lists(random_instruction(), min_size=1, max_size=8)
+
+    @staticmethod
+    def _build(seg_a, seg_b, seg_c, trips):
+        program = [
+            Instruction(Op.MOVI, _MEM_BASE_REG, imm=_SCRATCH),
+            Instruction(Op.MOVI, 13, imm=trips),
+            Instruction(Op.MOVI, 14, imm=0),
+        ]
+        loop_start = len(program)
+        program.extend(seg_a)
+        branch_at = len(program)
+        program.append(None)          # bltu r0, r1, <skip seg_b>
+        program.extend(seg_b)
+        skip_index = len(program)
+        program[branch_at] = Instruction(
+            Op.BLTU, 0, 1, imm=TEXT_BASE + skip_index * INSTR_SIZE)
+        jump_at = len(program)
+        program.append(None)          # jmp <next instruction>
+        program[jump_at] = Instruction(
+            Op.JMP, imm=TEXT_BASE + (jump_at + 1) * INSTR_SIZE)
+        program.extend(seg_c)
+        program.append(Instruction(Op.ADD, 14, 14, imm=1))
+        program.append(Instruction(
+            Op.BLTU, 14, 13, imm=TEXT_BASE + loop_start * INSTR_SIZE))
+        program.append(Instruction(Op.HALT))
+        return program
+
+    @staticmethod
+    def _run(program, backend, superblocks=False):
+        machine = Machine()
+        code = b"".join(encode(i) for i in program)
+        machine.memory.map_region(TEXT_BASE, page_align(len(code)), "text")
+        machine.memory.write_bytes(TEXT_BASE, code)
+        cpu = machine.cpu
+        cpu.exec_backend = backend
+        cpu.exec_superblocks = superblocks
+        cpu.pc = TEXT_BASE
+        fault = None
+        try:
+            cpu.run(max_steps=10_000)
+        except VmFault as exc:
+            fault = type(exc).__name__
+        arch = (fault, list(cpu.regs), cpu.mem_ops, cpu.io_ops,
+                machine.memory.read_bytes(_SCRATCH, 0x100))
+        return arch, (cpu.pc, cpu.instret)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seg_a=_segment, seg_b=_segment, seg_c=_segment,
+           trips=st.integers(min_value=2, max_value=4))
+    def test_four_tiers_agree(self, seg_a, seg_b, seg_c, trips):
+        program = self._build(seg_a, seg_b, seg_c, trips)
+        step, _ = self._run(program, None)
+        interp, interp_ret = self._run(program, "interp")
+        compiled, compiled_ret = self._run(program, "compiled")
+        fused, fused_ret = self._run(
+            program, "compiled",
+            superblocks=SuperblockConfig(hot_threshold=1))
+        assert step == interp
+        assert step == compiled
+        assert step == fused
+        # instret is charged at block entry in every DBT tier and a
+        # faulting block reports its head pc (the per-step tier counts
+        # and reports the exact instruction), so those two fields are
+        # compared across the three DBT tiers only -- exactly.
+        assert interp_ret == compiled_ret == fused_ret
+
+    @settings(max_examples=20, deadline=None)
+    @given(seg_a=_segment, seg_b=_segment, seg_c=_segment,
+           trips=st.integers(min_value=2, max_value=4),
+           limit=st.integers(min_value=1, max_value=60))
+    def test_step_limit_boundaries_agree(self, seg_a, seg_b, seg_c, trips,
+                                         limit):
+        """Stopping mid-superblock at an arbitrary ``max_steps`` must
+        leave exactly the same architectural state as the per-block
+        tier stopping at the same instruction."""
+        program = self._build(seg_a, seg_b, seg_c, trips)
+
+        def run_limited(superblocks):
+            machine = Machine()
+            code = b"".join(encode(i) for i in program)
+            machine.memory.map_region(TEXT_BASE, page_align(len(code)),
+                                      "text")
+            machine.memory.write_bytes(TEXT_BASE, code)
+            cpu = machine.cpu
+            cpu.exec_backend = "compiled"
+            cpu.exec_superblocks = superblocks
+            cpu.pc = TEXT_BASE
+            fault = None
+            reason = None
+            try:
+                reason = cpu.run(max_steps=limit)
+            except VmFault as exc:
+                fault = type(exc).__name__
+            return (reason, fault, list(cpu.regs), cpu.pc, cpu.instret,
+                    cpu.mem_ops, machine.memory.read_bytes(_SCRATCH, 0x100))
+
+        assert run_limited(False) == \
+            run_limited(SuperblockConfig(hot_threshold=1))
 
 
 class TestAssemblerProperties:
