@@ -39,8 +39,8 @@ from repro.fuzz.engine import (FuzzConfig, FuzzEngine, FuzzResult,
                                observation_features, program_features,
                                run_fuzz)
 from repro.fuzz.generate import ProgramGenerator
-from repro.fuzz.soak import (SoakRecord, run_soak, saturation_program,
-                             soak_cell)
+from repro.fuzz.soak import (SoakRecord, run_fabric_soak, run_soak,
+                             saturation_program, soak_cell)
 
 __all__ = [
     "FUZZ_SCHEMA_VERSION",
@@ -63,6 +63,7 @@ __all__ = [
     "run_fuzz",
     "ProgramGenerator",
     "SoakRecord",
+    "run_fabric_soak",
     "run_soak",
     "saturation_program",
     "soak_cell",

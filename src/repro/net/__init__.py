@@ -1,6 +1,7 @@
-"""Packet and network substrate: frames, checksums, workload generators."""
+"""Packet and network substrate: frames, checksums, workload generators,
+and the fleet-scale switched fabric (:mod:`repro.net.fabric`)."""
 
-from repro.net.crc import crc32_ethernet
+from repro.net.crc import crc32_ethernet, crc32_ethernet_reference
 from repro.net.ethernet import (
     BROADCAST_MAC,
     EtherType,
@@ -15,6 +16,7 @@ from repro.net.traffic import UdpWorkload, packet_size_sweep
 
 __all__ = [
     "crc32_ethernet",
+    "crc32_ethernet_reference",
     "BROADCAST_MAC",
     "EtherType",
     "EthernetFrame",

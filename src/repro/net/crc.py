@@ -4,21 +4,33 @@ Checksum computation is one of the paper's four function types
 ("OS-independent algorithms, such as checksum computation", section 4.2);
 the binary drivers use a table-free bitwise variant of this same algorithm
 so the synthesizer has a realistic pure-computation function to recover.
+
+Two implementations live here on purpose.  :func:`crc32_ethernet` is the
+hot path -- every frame the fabric switches pays it -- and delegates to
+:func:`zlib.crc32`, which implements the same reflected 0xEDB88320
+polynomial with 0xFFFFFFFF init and final xor in C.
+:func:`crc32_ethernet_reference` keeps the table-free bitwise algorithm
+the driver corpus embeds, both as executable documentation of what the
+synthesizer recovers and as the oracle for the equivalence test.
 """
 
-_POLY = 0xEDB88320
+import zlib
 
-_TABLE = []
-for _byte in range(256):
-    _crc = _byte
-    for _ in range(8):
-        _crc = (_crc >> 1) ^ (_POLY if _crc & 1 else 0)
-    _TABLE.append(_crc)
+_POLY = 0xEDB88320
 
 
 def crc32_ethernet(data):
     """Compute the Ethernet FCS over ``data``; returns a 32-bit integer."""
+    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
+
+
+def crc32_ethernet_reference(data):
+    """Table-free bitwise CRC-32, one byte at a time -- the algorithm the
+    binary drivers carry.  Semantically identical to
+    :func:`crc32_ethernet`; kept as the independent oracle."""
     crc = 0xFFFFFFFF
     for byte in data:
-        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+        crc ^= byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ (_POLY if crc & 1 else 0)
     return crc ^ 0xFFFFFFFF

@@ -1,0 +1,193 @@
+"""The learning Ethernet switch at the center of the fleet fabric.
+
+A :class:`SwitchNode` is a store-and-forward bridge over N ports.  It
+learns source MACs per port (with tick-based aging), forwards known
+unicast destinations to their learned port, floods unknown-unicast and
+multicast/broadcast frames to every other port, filters hairpin traffic
+(destination learned on the ingress port), and queues egress frames in
+bounded per-port queues with drop accounting -- the classic 802.1D data
+path, scaled down to what the fleet scheduler needs.
+
+Everything is deterministic: frames are processed in arrival order,
+flooding walks ports in index order, and aging uses the scheduler's
+logical tick (never wall clock), so the same topology plus the same
+workload produces a byte-identical switch-stats section in the fabric
+report regardless of run mode or host load.
+"""
+
+from repro.net.ethernet import is_multicast
+
+#: Egress frames a port queues before the switch starts dropping.
+DEFAULT_QUEUE_DEPTH = 64
+#: Ticks a learned MAC stays valid without fresh traffic from it.
+DEFAULT_MAC_AGE = 64
+
+
+class SwitchPort:
+    """One attachment point: a bounded egress queue plus its counters."""
+
+    __slots__ = ("index", "queue", "drops", "delivered", "enqueued")
+
+    def __init__(self, index):
+        self.index = index
+        self.queue = []
+        #: frames dropped because the egress queue was full
+        self.drops = 0
+        #: frames handed to the endpoint by :meth:`SwitchNode.drain`
+        self.delivered = 0
+        #: frames accepted into the egress queue
+        self.enqueued = 0
+
+
+class SwitchNode:
+    """A learning bridge connecting ``port_count`` endpoints.
+
+    The fabric scheduler owns the clock: ``now`` on :meth:`switch_batch`
+    and :meth:`expire` is its logical tick.  A learned entry older than
+    ``mac_age`` ticks is treated as absent everywhere (forwarding falls
+    back to flood, learning counts a fresh entry), so lookup behavior is
+    identical whether :meth:`expire` ran on every intermediate tick (the
+    lockstep reference) or only on event ticks (the batched scheduler).
+    """
+
+    def __init__(self, port_count, queue_depth=DEFAULT_QUEUE_DEPTH,
+                 mac_age=DEFAULT_MAC_AGE):
+        if port_count < 2:
+            raise ValueError("a switch needs >= 2 ports, got %d"
+                             % port_count)
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1, got %d"
+                             % queue_depth)
+        if mac_age < 1:
+            raise ValueError("mac_age must be >= 1, got %d" % mac_age)
+        self.ports = [SwitchPort(i) for i in range(port_count)]
+        self.queue_depth = queue_depth
+        self.mac_age = mac_age
+        #: mac bytes -> [port_index, last_seen_tick]
+        self.table = {}
+        self.frames_switched = 0
+        #: multicast/broadcast floods
+        self.flooded = 0
+        #: unicast frames flooded for want of a table entry
+        self.unknown_floods = 0
+        #: unicast frames whose destination lives on the ingress port
+        self.filtered = 0
+        #: frames too short to carry a destination address
+        self.runts_dropped = 0
+        #: learned entries removed (aging, or stale-at-relearn)
+        self.aged_out = 0
+        #: stations that showed up on a new port (relearn)
+        self.moves = 0
+
+    # -- data path -----------------------------------------------------
+
+    def switch_batch(self, ingress, frames, now=0):
+        """Switch a burst of frames arriving on port ``ingress``.
+
+        One call per harvested burst -- the fabric's batching boundary.
+        Frames land in egress queues (or the drop counters); nothing is
+        delivered until :meth:`drain`.
+        """
+        for frame in frames:
+            frame = frame if type(frame) is bytes else bytes(frame)
+            if len(frame) < 6:
+                self.runts_dropped += 1
+                continue
+            dst = frame[0:6]
+            if len(frame) >= 12:
+                self._learn(frame[6:12], ingress, now)
+            self.frames_switched += 1
+            if is_multicast(dst):
+                self.flooded += 1
+                self._flood(ingress, frame)
+                continue
+            entry = self.table.get(dst)
+            if entry is not None and now - entry[1] <= self.mac_age:
+                if entry[0] == ingress:
+                    self.filtered += 1
+                else:
+                    self._enqueue(self.ports[entry[0]], frame)
+            else:
+                self.unknown_floods += 1
+                self._flood(ingress, frame)
+
+    def drain(self, port_index):
+        """Pop everything queued for ``port_index`` -- one delivery burst."""
+        port = self.ports[port_index]
+        frames, port.queue = port.queue, []
+        port.delivered += len(frames)
+        return frames
+
+    def _learn(self, src, ingress, now):
+        entry = self.table.get(src)
+        if entry is None:
+            self.table[src] = [ingress, now]
+            return
+        if now - entry[1] > self.mac_age:
+            # The entry should already have been expired; count it so the
+            # batched scheduler (which only expires on event ticks) and
+            # the lockstep reference (which expires every tick) agree.
+            self.aged_out += 1
+            self.table[src] = [ingress, now]
+            return
+        if entry[0] != ingress:
+            self.moves += 1
+            entry[0] = ingress
+        entry[1] = now
+
+    def _flood(self, ingress, frame):
+        for port in self.ports:
+            if port.index != ingress:
+                self._enqueue(port, frame)
+
+    def _enqueue(self, port, frame):
+        if len(port.queue) >= self.queue_depth:
+            port.drops += 1
+        else:
+            port.queue.append(frame)
+            port.enqueued += 1
+
+    # -- table maintenance ---------------------------------------------
+
+    def lookup(self, mac, now=0):
+        """The live port for ``mac`` at tick ``now``, or ``None``."""
+        entry = self.table.get(bytes(mac))
+        if entry is None or now - entry[1] > self.mac_age:
+            return None
+        return entry[0]
+
+    def expire(self, now):
+        """Remove entries stale at tick ``now``; returns how many aged out."""
+        stale = sorted(mac for mac, entry in self.table.items()
+                       if now - entry[1] > self.mac_age)
+        for mac in stale:
+            del self.table[mac]
+        self.aged_out += len(stale)
+        return len(stale)
+
+    # -- reporting -----------------------------------------------------
+
+    def pending(self):
+        """Total frames sitting in egress queues (quiescence check)."""
+        return sum(len(port.queue) for port in self.ports)
+
+    def stats(self):
+        """JSON-ready, deterministic switch-side section of the report."""
+        return {
+            "ports": len(self.ports),
+            "queue_depth": self.queue_depth,
+            "mac_age": self.mac_age,
+            "frames_switched": self.frames_switched,
+            "flooded": self.flooded,
+            "unknown_floods": self.unknown_floods,
+            "filtered": self.filtered,
+            "runts_dropped": self.runts_dropped,
+            "aged_out": self.aged_out,
+            "moves": self.moves,
+            "queue_drops": sum(port.drops for port in self.ports),
+            "per_port": [{"port": port.index, "enqueued": port.enqueued,
+                          "delivered": port.delivered, "drops": port.drops}
+                         for port in self.ports],
+            "table": {mac.hex(): [entry[0], entry[1]]
+                      for mac, entry in sorted(self.table.items())},
+        }

@@ -1,0 +1,220 @@
+"""Fleet traffic programs: seeded, replayable saturation/soak workloads.
+
+Every workload is a pure function of ``(endpoint count, seed)`` built
+from the PR 6 :class:`~repro.net.traffic.ScenarioProgram` vocabulary:
+each endpoint gets its own program (a step list) plus a ``(start,
+stride)`` schedule placing those steps on the fabric's logical clock.
+The seed is recorded in the :class:`FleetWorkload` and in every program,
+so a fabric run replays bit-for-bit from the workload name, count and
+seed alone -- the same discipline as the fuzzer's campaigns.
+
+The schedules are deliberately sparse and staggered: at any tick most
+endpoints have nothing scheduled, which is exactly the shape where the
+batched event-driven scheduler wins over lockstep polling.
+"""
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+
+from repro.net.ethernet import BROADCAST_MAC
+from repro.net.fabric.endpoint import fabric_mac
+from repro.net.traffic import ScenarioProgram, ScenarioStep
+
+
+@dataclass(frozen=True)
+class EndpointProgram:
+    """One endpoint's slot: its program and its place on the clock.
+
+    Step ``k`` of ``program`` executes at tick ``start + k * stride``.
+    """
+
+    program: ScenarioProgram
+    start: int = 0
+    stride: int = 1
+
+    def to_dict(self):
+        return {"start": self.start, "stride": self.stride,
+                "program": self.program.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(program=ScenarioProgram.from_dict(data["program"]),
+                   start=data["start"], stride=data["stride"])
+
+
+@dataclass(frozen=True)
+class FleetWorkload:
+    """A complete fleet traffic plan: one slot per endpoint."""
+
+    name: str
+    seed: int
+    slots: tuple
+
+    @property
+    def count(self):
+        return len(self.slots)
+
+    def to_dict(self):
+        return {"name": self.name, "seed": self.seed,
+                "slots": [slot.to_dict() for slot in self.slots]}
+
+    def to_json(self):
+        """Canonical JSON -- the replayable workload record."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self):
+        """Content digest of the full plan (report integrity field)."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(name=data["name"], seed=data["seed"],
+                   slots=tuple(EndpointProgram.from_dict(s)
+                               for s in data["slots"]))
+
+
+def _program(name, seed, steps):
+    return ScenarioProgram(name=name, seed=seed, steps=tuple(steps),
+                           description="fleet workload program")
+
+
+def _send_to(dst_mac, count, size):
+    return ScenarioStep("send_to", {"dst": dst_mac.hex(), "count": count,
+                                    "size": size})
+
+
+def all_pairs(count, seed, targets=3, burst=2, size=128):
+    """Cross-traffic: every endpoint bursts at ``targets`` sampled peers.
+
+    The first burst to a yet-unlearned peer floods; once the peer has
+    talked, traffic unicasts -- so the workload exercises learning,
+    flood-on-unknown and steady-state forwarding in one plan.
+    """
+    rng = random.Random(seed)
+    slots = []
+    for index in range(count):
+        steps = []
+        for _ in range(targets):
+            peer = rng.randrange(count - 1)
+            if peer >= index:
+                peer += 1           # never self-address
+            steps.append(_send_to(fabric_mac(peer), burst, size))
+        steps.append(ScenarioStep("service", {}))
+        slots.append(EndpointProgram(
+            program=_program("all-pairs-%d" % index, seed, steps),
+            start=rng.randrange(4), stride=1 + rng.randrange(3)))
+    return FleetWorkload("all_pairs", seed, tuple(slots))
+
+
+def broadcast_storm(count, seed, talkers=None, rounds=3, burst=2,
+                    size=64):
+    """A few stations flood everyone; the rest only wake on arrival."""
+    rng = random.Random(seed)
+    if talkers is None:
+        talkers = max(2, count // 8)
+    talking = sorted(rng.sample(range(count), talkers))
+    slots = []
+    for index in range(count):
+        if index not in talking:
+            slots.append(EndpointProgram(
+                program=_program("storm-quiet-%d" % index, seed, ())))
+            continue
+        steps = [_send_to(BROADCAST_MAC, burst, size)
+                 for _ in range(rounds)]
+        slots.append(EndpointProgram(
+            program=_program("storm-talker-%d" % index, seed, steps),
+            start=rng.randrange(3), stride=1 + rng.randrange(2)))
+    return FleetWorkload("broadcast_storm", seed, tuple(slots))
+
+
+def incast(count, seed, burst=4, size=256):
+    """Hot-receiver pressure: everyone bursts at endpoint 0 at once.
+
+    All senders fire on the same tick, so the victim port's bounded
+    queue fills within a single switching round -- the drop-accounting
+    workload.
+    """
+    rng = random.Random(seed)
+    victim = fabric_mac(0)
+    slots = [EndpointProgram(
+        program=_program("incast-victim", seed,
+                         (ScenarioStep("service", {}),)), start=6)]
+    for index in range(1, count):
+        steps = [_send_to(victim, burst, size),
+                 ScenarioStep("service", {})]
+        slots.append(EndpointProgram(
+            program=_program("incast-sender-%d" % index, seed, steps),
+            start=rng.randrange(2), stride=2))
+    return FleetWorkload("incast", seed, tuple(slots))
+
+
+def churn(count, seed, flappers=None, burst=2, size=128):
+    """Cross-traffic under link flaps: a sampled subset of endpoints
+    pulls its cable mid-plan (frames into the void, recovery reset)
+    while the rest keep talking."""
+    rng = random.Random(seed)
+    if flappers is None:
+        flappers = max(1, count // 4)
+    flapping = set(rng.sample(range(count), flappers))
+    slots = []
+    for index in range(count):
+        peer = rng.randrange(count - 1)
+        if peer >= index:
+            peer += 1
+        steps = [_send_to(fabric_mac(peer), burst, size)]
+        if index in flapping:
+            steps.append(ScenarioStep("link_flap",
+                                      {"size": size, "frames_down": 2}))
+        steps.append(_send_to(fabric_mac(peer), burst, size))
+        steps.append(ScenarioStep("service", {}))
+        slots.append(EndpointProgram(
+            program=_program("churn-%d" % index, seed, steps),
+            start=rng.randrange(4), stride=1 + rng.randrange(3)))
+    return FleetWorkload("churn", seed, tuple(slots))
+
+
+def saturation(count, seed, rounds=3, burst=2, size=256, spread=1):
+    """The soak default: ring cross-traffic (``i`` bursts at ``i+1``)
+    for ``rounds`` cycles with interleaved service drains -- every
+    endpoint both sends and receives every round.
+
+    ``spread`` stretches every schedule by that factor: real fleets are
+    idle at almost every tick, and a large spread models that shape --
+    the regime where event-driven scheduling pays (the benchmark gate
+    runs a wide spread; lockstep polling has to walk every endpoint
+    through every empty tick).
+    """
+    rng = random.Random(seed)
+    slots = []
+    for index in range(count):
+        peer = fabric_mac((index + 1) % count)
+        steps = []
+        for _ in range(rounds):
+            steps.append(_send_to(peer, burst, size))
+            steps.append(ScenarioStep("service", {}))
+        slots.append(EndpointProgram(
+            program=_program("saturation-%d" % index, seed, steps),
+            start=rng.randrange(3) * spread,
+            stride=(1 + rng.randrange(2)) * spread))
+    return FleetWorkload("saturation", seed, tuple(slots))
+
+
+#: Name -> builder; every builder is a pure function of (count, seed).
+WORKLOADS = {
+    "all_pairs": all_pairs,
+    "broadcast_storm": broadcast_storm,
+    "incast": incast,
+    "churn": churn,
+    "saturation": saturation,
+}
+
+
+def build_workload(name, count, seed, **kwargs):
+    """Build workload ``name`` for ``count`` endpoints under ``seed``."""
+    if name not in WORKLOADS:
+        raise ValueError("unknown fleet workload %r (have: %s)"
+                         % (name, ", ".join(sorted(WORKLOADS))))
+    return WORKLOADS[name](count, seed, **kwargs)

@@ -1,6 +1,18 @@
 """The software network medium ("cable") NIC models attach to."""
 
 
+def _as_bytes(frame_bytes):
+    """Normalize any bytes-like frame to immutable ``bytes`` exactly once.
+
+    Device models and batched fabric paths hand frames around as
+    ``bytearray``/``memoryview`` scratch buffers; converting at the medium
+    boundary guarantees no mutable buffer is ever stored in a transmit log
+    or delivered to a receiver where a later in-place edit could corrupt a
+    recorded observation.
+    """
+    return frame_bytes if type(frame_bytes) is bytes else bytes(frame_bytes)
+
+
 class Medium:
     """Records frames transmitted by an attached NIC and injects frames
     toward it.
@@ -31,22 +43,28 @@ class Medium:
 
     def transmit(self, frame_bytes):
         """Called by a NIC model when it puts a frame on the wire."""
+        frame_bytes = _as_bytes(frame_bytes)
         if not self.link_up:
             self.link_drops += 1
             return
-        self.transmitted.append(bytes(frame_bytes))
+        self.transmitted.append(frame_bytes)
         self.tx_bytes += len(frame_bytes)
 
     def inject(self, frame_bytes):
         """Deliver a frame from the network toward the attached NIC."""
+        frame_bytes = _as_bytes(frame_bytes)
         if self._receiver is None:
             raise RuntimeError("no NIC attached to medium")
         if not self.link_up:
             self.link_drops += 1
             return
-        self._receiver.receive_frame(bytes(frame_bytes))
+        self._receiver.receive_frame(frame_bytes)
+
+    def pending_tx(self):
+        """Number of transmitted frames awaiting harvest (fabric poll)."""
+        return len(self.transmitted)
 
     def pop_transmitted(self):
-        """Return and clear the transmitted-frame log."""
+        """Return and clear the transmitted-frame log, as ``bytes``."""
         frames, self.transmitted = self.transmitted, []
-        return frames
+        return [_as_bytes(frame) for frame in frames]

@@ -224,6 +224,16 @@ def _step_send_burst(dut, p):
         dut.send(frame.to_bytes())
 
 
+def _step_send_to(dut, p):
+    """A TX burst to an explicit destination MAC (hex in the params, so
+    serialized programs stay self-contained).  The fabric workloads use
+    this for cross-traffic between endpoints; on a dedicated medium it is
+    just ``send_burst`` with a different address."""
+    workload = UdpWorkload(dut.mac, bytes.fromhex(p["dst"]), p["size"])
+    for frame in workload.frames(p["count"]):
+        dut.send(frame.to_bytes())
+
+
 def _step_inject_burst(dut, p):
     workload = UdpWorkload(dut.peer, dut.mac, p["size"],
                            src_ip=b"\x0a\x00\x00\x02",
@@ -324,6 +334,7 @@ class StepSpec:
 #: new fuzz strategy needs: generators emit (op, params), replay runs it.
 STEP_VOCABULARY = {
     "send_burst": StepSpec(_step_send_burst),
+    "send_to": StepSpec(_step_send_to),
     "inject_burst": StepSpec(_step_inject_burst),
     "quiet_burst": StepSpec(_step_quiet_burst),
     "service": StepSpec(_step_service),

@@ -602,10 +602,19 @@ def artifact_from_dict(data, source="disk-cache"):
         raise ArtifactError("malformed artifact: %s" % (exc,)) from exc
 
 
+def canonical_dumps(data):
+    """Canonical JSON encoding: sorted keys, no whitespace.
+
+    The one serialization every byte-compared document in the repo uses
+    (run artifacts, fuzz campaigns, fabric reports): two equal values
+    always encode to identical bytes.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
 def to_json(artifact):
     """Full-fidelity deterministic JSON (timings included)."""
-    return json.dumps(artifact_to_dict(artifact), sort_keys=True,
-                      separators=(",", ":"))
+    return canonical_dumps(artifact_to_dict(artifact))
 
 
 def from_json(text, source="disk-cache"):
@@ -654,5 +663,4 @@ def canonical_json(artifact):
     Byte-equality of canonical JSON is the artifact-equivalence relation
     the determinism tests (serial vs parallel vs cached) assert on.
     """
-    return json.dumps(_scrub_volatile(artifact_to_dict(artifact)),
-                      sort_keys=True, separators=(",", ":"))
+    return canonical_dumps(_scrub_volatile(artifact_to_dict(artifact)))

@@ -382,11 +382,17 @@ class ArtifactStore:
     def contains(self, key):
         return os.path.exists(self.path_for(key))
 
-    def keys(self):
+    def keys(self, prefix=None):
+        """Stored keys in sorted order; ``prefix`` filters by namespace
+        (``"fabric-"``, ``"fuzz-"``, ...) -- the store is shared, so
+        consumers enumerate only their own entries."""
         if not os.path.isdir(self.root):
             return []
-        return sorted(name[:-5] for name in os.listdir(self.root)
-                      if name.endswith(".json"))
+        names = sorted(name[:-5] for name in os.listdir(self.root)
+                       if name.endswith(".json"))
+        if prefix:
+            names = [name for name in names if name.startswith(prefix)]
+        return names
 
     def clear(self):
         for key in self.keys():

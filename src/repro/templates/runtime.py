@@ -29,6 +29,8 @@ class SyntheticDriverRuntime:
         self.env = IrEnv.for_machine(target_os.machine)
         #: total IR ops retired by synthesized code (perf-model input)
         self.env.ops_retired = 0
+        #: entry-point invocations by role (fabric per-endpoint accounting)
+        self.call_counts = {}
         self._map_driver_image()
 
     def _map_driver_image(self):
@@ -60,6 +62,7 @@ class SyntheticDriverRuntime:
 
     def call(self, role, args, max_blocks=200_000):
         """Invoke entry point ``role`` with ``args`` (after the context)."""
+        self.call_counts[role] = self.call_counts.get(role, 0) + 1
         self.env.regs[:] = [0] * 16
         self.env.regs[REG_SP] = STACK_TOP
         return self.driver.run_entry(role, self.env, list(args), self.os,
